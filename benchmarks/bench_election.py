@@ -1,0 +1,156 @@
+"""E5/E6 — leader election: the new O(n) algorithm vs. ring classics.
+
+Paper claims (Section 4):
+
+* new algorithm: at most 6n tour/return direct messages (Theorem 5),
+  O(n) time;
+* traditional algorithms cost Ω(n log n) system calls under the new
+  measure as well (every hop of a classic ring algorithm is processed
+  in software).
+
+The series prints tour+return calls against the 6n bound across
+topologies and sizes, and the head-to-head scaling against
+Chang–Roberts (worst-case id arrangement) and Hirschberg–Sinclair.
+"""
+
+from __future__ import annotations
+
+import math
+
+from conftest import emit
+from repro.core import ChangRoberts, HirschbergSinclair, LeaderElection
+from repro.network import Network, topologies
+from repro.sim import FixedDelays
+
+
+def run_election(g, factory, starters=None):
+    net = Network(g, delays=FixedDelays(0.0, 1.0))
+    net.attach(factory)
+    net.start(starters)
+    net.run_to_quiescence(max_events=5_000_000)
+    flags = net.outputs_for_key("is_leader")
+    assert sum(1 for v in flags.values() if v) == 1
+    return net
+
+
+def tour_return(net):
+    snap = net.metrics.snapshot()
+    return snap.system_calls_by_kind.get("tour", 0) + snap.system_calls_by_kind.get(
+        "return", 0
+    )
+
+
+
+
+def test_e5_theorem5_bound_across_topologies(benchmark, capsys):
+    rows = []
+    for name, g in [
+        ("line", topologies.line(64)),
+        ("ring", topologies.ring(64)),
+        ("grid", topologies.grid(8, 8)),
+        ("hypercube", topologies.hypercube(6)),
+        ("complete", topologies.complete(64)),
+        ("random", topologies.random_connected(64, 0.1, seed=3)),
+    ]:
+        net = run_election(g, lambda api: LeaderElection(api))
+        n = net.n
+        rows.append(
+            [name, n, tour_return(net), 6 * n, net.metrics.system_calls,
+             net.scheduler.now]
+        )
+    emit(
+        capsys,
+        "E5 — election at n=64 (paper: tour+return <= 6n, Theorem 5)",
+        ["topology", "n", "tour+return", "6n", "total_sc", "time"],
+        rows,
+    )
+    g = topologies.random_connected(64, 0.1, seed=3)
+    benchmark(lambda: run_election(g, lambda api: LeaderElection(api)))
+
+
+def test_e5_e6_scaling_on_rings(benchmark, capsys):
+    import random
+
+    rows = []
+    for n in (8, 16, 32, 64, 128, 256):
+        rng = random.Random(n)
+        perm = list(range(n))
+        rng.shuffle(perm)
+        net_new = run_election(topologies.ring(n), lambda api: LeaderElection(api))
+        net_cr = run_election(
+            topologies.ring(n), lambda api: ChangRoberts(api, direction=-1)
+        )
+        net_hs = run_election(
+            topologies.ring(n),
+            lambda api: HirschbergSinclair(api, priority=perm[api.node_id]),
+        )
+        rows.append(
+            [
+                n,
+                tour_return(net_new),
+                6 * n,
+                net_new.metrics.system_calls,
+                net_cr.metrics.system_calls,
+                net_hs.metrics.system_calls,
+                round(n * math.log2(n)),
+            ]
+        )
+    emit(
+        capsys,
+        "E5/E6 — election system calls on rings "
+        "(paper: new O(n); traditional Omega(n log n) under the new measure; "
+        "CR worst case Theta(n^2))",
+        ["n", "new_tour+ret", "6n", "new_total", "CR_worst", "HS", "n*log2n"],
+        rows,
+    )
+    benchmark(
+        lambda: run_election(topologies.ring(64), lambda api: LeaderElection(api))
+    )
+
+
+def test_e5_initiator_sensitivity(benchmark, capsys):
+    g = topologies.random_connected(96, 0.08, seed=7)
+    rows = []
+    for label, starters in [
+        ("single", [0]),
+        ("quarter", list(range(0, 96, 4))),
+        ("all", None),
+    ]:
+        net = run_election(g, lambda api: LeaderElection(api), starters)
+        rows.append([label, tour_return(net), net.metrics.system_calls,
+                     net.scheduler.now])
+    emit(
+        capsys,
+        "E5 — sensitivity to the set of initiators (n=96 random graph)",
+        ["initiators", "tour+return", "total_sc", "time"],
+        rows,
+    )
+    benchmark(lambda: run_election(g, lambda api: LeaderElection(api), [0]))
+
+
+def test_e5_tour_calls_distribution(benchmark, capsys):
+    """Theorem 5 as a distribution: tour+return calls per node across
+    random topologies and timings never reach the 6n ceiling."""
+    from repro.analysis.montecarlo import SUMMARY_HEADERS, sweep
+    from repro.sim import RandomDelays
+
+    def calls_per_node(seed: int) -> float:
+        g = topologies.random_connected(48, 0.1, seed=seed)
+        net = Network(
+            g, delays=RandomDelays(hardware=0.3, software=1.0, seed=seed)
+        )
+        net.attach(lambda api: LeaderElection(api))
+        net.start()
+        net.run_to_quiescence(max_events=5_000_000)
+        return tour_return(net) / net.n
+
+    summary = sweep(calls_per_node, 20)
+    emit(
+        capsys,
+        "E5 — distribution of tour+return system calls per node over 20 "
+        "random (graph, timing) seeds at n=48 (Theorem 5 ceiling: 6.0)",
+        ["runs"] + SUMMARY_HEADERS,
+        [[summary.count] + summary.row()],
+    )
+    assert summary.maximum <= 6.0
+    benchmark(lambda: calls_per_node(0))

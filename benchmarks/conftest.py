@@ -1,0 +1,36 @@
+"""Shared helpers for the experiment benches.
+
+Every bench (a) times a representative operation via pytest-benchmark,
+(b) prints the experiment's table — the rows EXPERIMENTS.md quotes —
+directly to the terminal (bypassing capture) so ``pytest benchmarks/
+--benchmark-only | tee bench_output.txt`` records them, and (c) saves
+the same rows as CSV under ``benchmarks/results/`` for machine reuse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import pytest
+
+from pathlib import Path
+
+from repro.analysis.export import rows_to_csv, slugify
+from repro.metrics import format_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(capsys: pytest.CaptureFixture, title: str, headers: Sequence[str],
+         rows: Iterable[Sequence[Any]]) -> None:
+    """Print an experiment table to the real terminal and save it as CSV."""
+    import sys
+
+    rows = [list(r) for r in rows]
+    rows_to_csv(RESULTS_DIR / f"{slugify(title)}.csv", headers, rows)
+    with capsys.disabled():
+        sys.stdout.flush()
+        print()
+        print(format_table(headers, rows, title=title))
+        print()
+        sys.stdout.flush()

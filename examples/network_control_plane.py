@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Scenario: running a PARIS-style network control plane.
+
+The paper's motivating deployment: a wide-area fast network whose
+user traffic flows through switching hardware while a single control
+processor per node maintains the topology map (needed for source
+routing).  This example drives the full control-plane lifecycle on a
+64-node backbone:
+
+1. cold start — every node learns the whole topology;
+2. steady state — periodic broadcasts keep the maps fresh;
+3. a fibre cut (two link failures) — the maps re-converge;
+4. a node outage and repair;
+
+and compares the control-plane *cost* of the paper's branching-paths
+broadcast against ARPANET flooding throughout.
+
+Run:  python examples/network_control_plane.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    FixedDelays,
+    Network,
+    converge_by_rounds,
+    format_table,
+    is_converged,
+    topologies,
+)
+from repro.core import attach_topology_maintenance
+
+
+def build_backbone(seed: int = 42):
+    """A geometric random graph: links follow physical proximity, as a
+    fibre backbone does."""
+    return topologies.random_geometric_connected(64, 0.22, seed=seed)
+
+
+def lifecycle(strategy: str) -> list[list]:
+    net = Network(build_backbone(), delays=FixedDelays(hardware=0.0, software=1.0))
+    attach_topology_maintenance(net, strategy=strategy, scope="full")
+    rows = []
+
+    def phase(name: str) -> None:
+        before = net.metrics.snapshot()
+        result = converge_by_rounds(net, max_rounds=40)
+        delta = net.metrics.since(before)
+        rows.append([name, result.rounds, delta.system_calls, delta.hops])
+
+    phase("cold start")
+
+    # A fibre cut takes out two geographically close links.
+    edges = sorted(net.links)
+    net.fail_link(*edges[3])
+    net.fail_link(*edges[4])
+    net.run_to_quiescence()
+    assert not is_converged(net)
+    phase("fibre cut (2 links)")
+
+    # A node outage: all its links go down, then come back.
+    net.fail_node(17)
+    net.run_to_quiescence()
+    phase("node 17 outage")
+    net.restore_node(17)
+    net.restore_link(*edges[3])
+    net.restore_link(*edges[4])
+    net.run_to_quiescence()
+    phase("full repair")
+    return rows
+
+
+def main() -> None:
+    print(__doc__)
+    for strategy in ("bpaths", "flood"):
+        rows = lifecycle(strategy)
+        print(format_table(
+            ["event", "rounds to converge", "system calls", "hardware hops"],
+            rows,
+            title=f"\ncontrol-plane lifecycle — strategy = {strategy}:",
+        ))
+    print(
+        "\nThe branching-paths control plane pays ~n system calls per broadcast"
+        "\nwhere flooding pays ~2m — on this backbone the software savings per"
+        "\nconvergence event are the m/n ratio the paper predicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Quickstart: the fast-network model in five minutes.
+
+Builds a small network under the paper's limiting model (hardware free,
+every NCU involvement costs one time unit), sends a source-routed
+packet with selective copies, then runs the three headline algorithms
+once each and prints their costs in the paper's measures.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import operator
+
+from repro import (
+    BranchingPathsBroadcast,
+    FixedDelays,
+    LeaderElection,
+    Network,
+    format_table,
+    optimal_spanning_tree,
+    run_standalone_broadcast,
+    run_tree_aggregation,
+    topologies,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. A network: 32 nodes, sparse random topology, C=0 / P=1.
+    # ------------------------------------------------------------------
+    net = Network(topologies.random_connected(32, 0.15, seed=7),
+                  delays=FixedDelays(hardware=0.0, software=1.0))
+    print(f"network: n={net.n} nodes, m={net.m} links, diameter={net.diameter()}")
+    print(f"ANR IDs are {net.id_space.k} bits; dmax={net.dmax}\n")
+
+    # ------------------------------------------------------------------
+    # 2. Topology broadcast (Section 3): n system calls, log n time.
+    # ------------------------------------------------------------------
+    adjacency = net.adjacency()
+    run = run_standalone_broadcast(
+        net,
+        lambda api: BranchingPathsBroadcast(
+            api, root=0, adjacency=adjacency, ids=net.id_lookup, body="hello"
+        ),
+        0,
+    )
+    print("branching-paths broadcast from node 0:")
+    print(f"  coverage      : {run.coverage}/{net.n} nodes")
+    print(f"  system calls  : {run.system_calls}  (paper: n per broadcast)")
+    print(f"  time units    : {run.completion_time():.0f}  (paper: <= 1 + log2 n)")
+    print(f"  hardware hops : {run.metrics.hops}\n")
+
+    # ------------------------------------------------------------------
+    # 3. Leader election (Section 4): <= 6n tour/return system calls.
+    # ------------------------------------------------------------------
+    net2 = Network(topologies.random_connected(32, 0.15, seed=7),
+                   delays=FixedDelays(0.0, 1.0))
+    net2.attach(lambda api: LeaderElection(api))
+    net2.start()
+    net2.run_to_quiescence()
+    flags = net2.outputs_for_key("is_leader")
+    leader = next(node for node, is_leader in flags.items() if is_leader)
+    snap = net2.metrics.snapshot()
+    tours = snap.system_calls_by_kind.get("tour", 0)
+    returns = snap.system_calls_by_kind.get("return", 0)
+    print("leader election (all nodes start):")
+    print(f"  elected leader    : node {leader} (every node knows it)")
+    print(f"  tour+return calls : {tours + returns}  (paper bound: 6n = {6 * net2.n})")
+    print(f"  total system calls: {snap.system_calls}\n")
+
+    # ------------------------------------------------------------------
+    # 4. A globally sensitive function (Section 5) on a complete graph.
+    # ------------------------------------------------------------------
+    rows = []
+    for P, C in [(1.0, 0.0), (1.0, 1.0), (1.0, 4.0)]:
+        net3 = Network(topologies.complete(32), delays=FixedDelays(C, P))
+        t_opt, tree = optimal_spanning_tree(net3, P, C)
+        result = run_tree_aggregation(
+            net3, tree, operator.add, {i: i for i in net3.nodes}
+        )
+        rows.append([P, C, float(t_opt), result.completion_time, result.result])
+    print(format_table(
+        ["P", "C", "predicted t", "measured t", "sum(0..31)"],
+        rows,
+        title="optimal-tree aggregation on K32 (measured == OT(t) theory):",
+    ))
+
+
+if __name__ == "__main__":
+    main()

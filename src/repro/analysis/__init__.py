@@ -1,0 +1,82 @@
+"""Closed forms, sweeps and tree statistics for the experiment harness."""
+
+from .closed_forms import (
+    binomial_size,
+    broadcast_system_calls,
+    broadcast_time_bound,
+    election_message_bound,
+    fibonacci_closed_form,
+    flooding_system_calls_bounds,
+    growth_rate,
+    oneway_lower_bound_rounds,
+    optimal_time_estimate,
+)
+from .causality import (
+    CausalEvent,
+    CausalityRecorder,
+    CausalLog,
+    compute_causal_messages,
+    last_causal_tree,
+    message_counts,
+    termination_event,
+)
+from .export import load_json_rows, rows_to_csv, rows_to_json, slugify
+from .invariants import ElectionInvariantChecker, run_checked
+from .fitting import GROWTH_MODELS, ModelFit, best_model, fit_constant, loglog_slope
+from .montecarlo import SUMMARY_HEADERS, Summary, sweep
+from .render import (
+    render_labelled_tree,
+    render_opt_tree,
+    render_paths,
+    render_tree,
+)
+from .sweeps import GrowthRow, TradeoffRow, size_growth, tradeoff_sweep
+from .utilization import NodeUtilization, UtilizationReport, utilization_report
+from .trees import TreeStats, graph_tree_stats, tree_stats
+
+__all__ = [
+    "CausalEvent",
+    "CausalLog",
+    "CausalityRecorder",
+    "GROWTH_MODELS",
+    "GrowthRow",
+    "ModelFit",
+    "NodeUtilization",
+    "UtilizationReport",
+    "best_model",
+    "load_json_rows",
+    "rows_to_csv",
+    "rows_to_json",
+    "slugify",
+    "ElectionInvariantChecker",
+    "fit_constant",
+    "run_checked",
+    "compute_causal_messages",
+    "last_causal_tree",
+    "loglog_slope",
+    "message_counts",
+    "render_labelled_tree",
+    "render_opt_tree",
+    "render_paths",
+    "render_tree",
+    "SUMMARY_HEADERS",
+    "Summary",
+    "sweep",
+    "termination_event",
+    "utilization_report",
+    "TradeoffRow",
+    "TreeStats",
+    "binomial_size",
+    "broadcast_system_calls",
+    "broadcast_time_bound",
+    "election_message_bound",
+    "fibonacci_closed_form",
+    "flooding_system_calls_bounds",
+    "graph_tree_stats",
+    "growth_rate",
+    "oneway_lower_bound_rounds",
+    "optimal_time_estimate",
+    "size_growth",
+    "tradeoff_sweep",
+    "tree_stats",
+]

@@ -1,0 +1,117 @@
+"""Closed-form predictions for the paper's quantitative claims.
+
+These are the formulas the benchmarks print next to measured values:
+
+* branching-paths broadcast: ``n`` system calls, ``<= 1 + log2 n`` time
+  units (Theorem 2 plus the initial send);
+* flooding: between ``m`` and ``2m`` system calls;
+* election: ``<= 6n`` tour/return messages (Theorem 5);
+* one-way broadcast lower bound: ``ceil((D - 5) / 5)`` rounds on a
+  depth-``D`` complete binary tree (Theorem 3);
+* S(t) closed forms: ``2^(k-1)`` for C=0,P=1 (eq. 6) and the Fibonacci
+  closed form (eq. 11) for C=1,P=1;
+* the asymptotic growth rate of ``S(t)`` for general (P, C): the root
+  of ``x^(C+P) = x^C + 1`` (from ``S(t) = S(t-P) + S(t-C-P)``).
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+from ..core.opt_tree import Number, _frac
+
+
+def broadcast_time_bound(n: int) -> int:
+    """Branching-paths broadcast: time units <= 1 + floor(log2 n)."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return 1 + (n.bit_length() - 1)
+
+
+def broadcast_system_calls(n: int) -> int:
+    """Branching-paths broadcast: exactly n NCU involvements.
+
+    (Our benchmarks exclude the external START trigger, so they observe
+    ``n - 1`` message system calls plus the root's involvement in the
+    trigger itself.)
+    """
+    return n
+
+
+def flooding_system_calls_bounds(m: int) -> tuple[int, int]:
+    """Flooding: the message is processed once or twice per link."""
+    return (m, 2 * m)
+
+
+def election_message_bound(n: int) -> int:
+    """Theorem 5: tour + return direct messages are at most 6n."""
+    return 6 * n
+
+
+def oneway_lower_bound_rounds(depth: int) -> int:
+    """Theorem 3 on a depth-``depth`` complete binary tree."""
+    if depth <= 0:
+        return 0
+    return max(1, -(-(depth - 5) // 5))
+
+
+def binomial_size(k: int) -> int:
+    """Eq. 6: S(k) = 2^(k-1) for C = 0, P = 1."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    return 2 ** (k - 1)
+
+
+def fibonacci_closed_form(k: int) -> int:
+    """Eq. 11: the Binet form of S(k) for C = 1, P = 1, rounded.
+
+    Matches the recursion exactly for all practical k (the rounding
+    error of the irrational terms is < 1/2).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    sqrt5 = math.sqrt(5.0)
+    phi = (1 + sqrt5) / 2
+    psi = (1 - sqrt5) / 2
+    return round((phi**k - psi**k) / sqrt5)
+
+
+def growth_rate(P: Number, C: Number, *, tolerance: float = 1e-12) -> float:
+    """Asymptotic per-unit-time growth factor of S(t).
+
+    Substituting ``S(t) ~ x^t`` into ``S(t) = S(t-P) + S(t-C-P)`` gives
+    the characteristic equation ``x^(C+P) = x^C + 1``; the unique root
+    ``x > 1`` is found by bisection.  Sanity anchors: ``x = 2`` for
+    (P=1, C=0) and ``x = golden ratio`` for (P=1, C=1).
+    """
+    Pf, Cf = float(_frac(P)), float(_frac(C))
+    if Pf <= 0:
+        raise ValueError("P must be positive (P = 0 is the degenerate model)")
+
+    def g(x: float) -> float:
+        return x ** (Cf + Pf) - x**Cf - 1.0
+
+    lo, hi = 1.0, 2.0
+    while g(hi) < 0:
+        hi *= 2.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if g(mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def optimal_time_estimate(n: int, P: Number, C: Number) -> float:
+    """First-order estimate ``t ~ log(n) / log(growth_rate)``.
+
+    Useful as the analytic curve the measured ``optimal_time`` points
+    should track (up to additive constants).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return float(_frac(P))
+    return math.log(n) / math.log(growth_rate(P, C))

@@ -1,0 +1,59 @@
+"""Exporting experiment rows to CSV/JSON artifacts.
+
+The benches print tables for humans; these helpers persist the same
+rows as machine-readable files so downstream analysis (plotting,
+regression tracking across runs) doesn't have to re-parse text.
+Dependency-free: the ``csv`` and ``json`` stdlib modules only.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import re
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+
+def slugify(title: str, *, max_length: int = 64) -> str:
+    """A filesystem-safe, stable slug for a table title."""
+    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")
+    return slug[:max_length].rstrip("_") or "table"
+
+
+def rows_to_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+) -> Path:
+    """Write rows as CSV (parent directories created); returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return path
+
+
+def rows_to_json(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    metadata: dict[str, Any] | None = None,
+) -> Path:
+    """Write rows as a JSON document of header-keyed records."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = [dict(zip(headers, row)) for row in rows]
+    document = {"metadata": metadata or {}, "rows": records}
+    path.write_text(json.dumps(document, indent=2, default=str) + "\n")
+    return path
+
+
+def load_json_rows(path: str | Path) -> list[dict[str, Any]]:
+    """Read back rows written by :func:`rows_to_json`."""
+    document = json.loads(Path(path).read_text())
+    return document["rows"]

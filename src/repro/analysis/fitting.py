@@ -1,0 +1,111 @@
+"""Empirical scaling-law fitting for measured complexity series.
+
+The benches and tests don't just check constants — they verify the
+*asymptotic shape* of measured costs ("who wins, by what factor, where
+crossovers fall").  This module provides the small amount of statistics
+needed for that honestly:
+
+* :func:`loglog_slope` — least-squares slope of log(y) vs. log(n); a
+  measured Θ(n^k) series yields slope ≈ k.
+* :func:`best_model` — compare a measurement series against candidate
+  growth models (constant, log n, n, n log n, n², …) by least-squares
+  residual after fitting a single multiplicative constant; used to
+  assert, e.g., that Hirschberg–Sinclair's system calls really track
+  n log n and not n or n².
+* :func:`fit_constant` — the constant factor against a known model,
+  e.g. the election's tour+return calls per node.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+#: Standard growth models, keyed by name.
+GROWTH_MODELS: Mapping[str, Callable[[float], float]] = {
+    "1": lambda n: 1.0,
+    "log n": lambda n: math.log(n),
+    "n": lambda n: float(n),
+    "n log n": lambda n: n * math.log(n),
+    "n^2": lambda n: float(n) ** 2,
+    "n^3": lambda n: float(n) ** 3,
+    "sqrt n": lambda n: math.sqrt(n),
+}
+
+
+def loglog_slope(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares slope of log(y) against log(n).
+
+    For a series y = c·n^k the slope converges to k.  Requires at least
+    two distinct positive points.
+    """
+    if len(ns) != len(ys):
+        raise ValueError("ns and ys must have equal length")
+    points = [(math.log(n), math.log(y)) for n, y in zip(ns, ys) if n > 0 and y > 0]
+    if len(points) < 2:
+        raise ValueError("need at least two positive points")
+    mean_x = sum(x for x, _ in points) / len(points)
+    mean_y = sum(y for _, y in points) / len(points)
+    sxx = sum((x - mean_x) ** 2 for x, _ in points)
+    if sxx == 0:
+        raise ValueError("all n values are identical")
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    return sxy / sxx
+
+
+def fit_constant(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    model: Callable[[float], float],
+) -> float:
+    """Least-squares multiplicative constant c minimising Σ(y − c·f(n))².
+
+    Returns c = Σ y·f / Σ f².
+    """
+    num = sum(y * model(n) for n, y in zip(ns, ys))
+    den = sum(model(n) ** 2 for n in ns)
+    if den == 0:
+        raise ValueError("model is identically zero on the sample")
+    return num / den
+
+
+@dataclass(frozen=True)
+class ModelFit:
+    """Outcome of fitting one growth model to a series."""
+
+    name: str
+    constant: float
+    relative_rmse: float
+
+
+def best_model(
+    ns: Sequence[float],
+    ys: Sequence[float],
+    candidates: Mapping[str, Callable[[float], float]] | None = None,
+) -> list[ModelFit]:
+    """Rank growth models by relative RMSE after constant fitting.
+
+    Returns all fits sorted best-first; ``result[0].name`` is the
+    winning model.  Relative RMSE normalises by the series mean so
+    models are comparable across scales.
+    """
+    if candidates is None:
+        candidates = GROWTH_MODELS
+    if not ys:
+        raise ValueError("empty series")
+    mean_y = sum(ys) / len(ys)
+    if mean_y == 0:
+        raise ValueError("series mean is zero")
+    fits = []
+    for name, model in candidates.items():
+        try:
+            c = fit_constant(ns, ys, model)
+        except ValueError:
+            continue
+        rmse = math.sqrt(
+            sum((y - c * model(n)) ** 2 for n, y in zip(ns, ys)) / len(ys)
+        )
+        fits.append(ModelFit(name=name, constant=c, relative_rmse=rmse / mean_y))
+    fits.sort(key=lambda f: f.relative_rmse)
+    return fits

@@ -1,0 +1,126 @@
+"""Runtime invariant checking — the paper's lemmas as assertions.
+
+The proofs of Section 4 rest on global properties no single node can
+observe (domain disjointness, frozen captured state, monotone sizes,
+forest-shaped capture pointers).  :class:`ElectionInvariantChecker`
+validates them against a *live* network, either at the end of a run or
+interleaved with execution (`run_checked` single-steps the scheduler
+and checks periodically) — the tool the repo's own invariant tests are
+built on, exposed for downstream experimentation with modified
+protocols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.election import CandidateStatus
+from ..network.network import Network
+from ..sim.errors import ProtocolError
+
+#: States in which a node is (still) the root of a live domain.
+ACTIVE_ORIGIN_STATES = frozenset(
+    {
+        CandidateStatus.ON_TOUR,
+        CandidateStatus.HOME_ACTIVE,
+        CandidateStatus.INACTIVE,
+        CandidateStatus.LEADER,
+    }
+)
+
+
+@dataclass
+class ElectionInvariantChecker:
+    """Checks the Section 4 global invariants against a network.
+
+    Stateful: remembers per-node domain sizes (to assert monotonicity)
+    and frozen sizes of captured domains across repeated checks.
+    """
+
+    net: Network
+    _sizes: dict[Any, int] = field(default_factory=dict)
+    _frozen: dict[Any, int] = field(default_factory=dict)
+    checks_performed: int = 0
+
+    def check(self) -> None:
+        """Validate all invariants now; raises ProtocolError on violation."""
+        self.checks_performed += 1
+        live_membership: dict[Any, Any] = {}
+        for node_id, node in self.net.nodes.items():
+            protocol = node.protocol
+            domain = getattr(protocol, "domain", None)
+            if domain is None:
+                continue
+            status = protocol.status
+
+            if domain.size != len(domain.in_set):
+                raise ProtocolError(
+                    f"domain of {node_id!r}: size {domain.size} != "
+                    f"|IN| {len(domain.in_set)}"
+                )
+            if node_id not in domain.in_set:
+                raise ProtocolError(f"origin {node_id!r} missing from its IN set")
+            previous = self._sizes.get(node_id)
+            if previous is not None and domain.size < previous:
+                raise ProtocolError(f"domain of {node_id!r} shrank")
+            self._sizes[node_id] = domain.size
+
+            if status is CandidateStatus.CAPTURED:
+                frozen = self._frozen.setdefault(node_id, domain.size)
+                if domain.size != frozen:
+                    raise ProtocolError(f"captured domain {node_id!r} mutated")
+                if protocol.parent_anr is None:
+                    raise ProtocolError(
+                        f"captured {node_id!r} has no parent pointer"
+                    )
+            elif status in ACTIVE_ORIGIN_STATES:
+                for member in domain.in_set:
+                    owner = live_membership.get(member)
+                    if owner is not None:
+                        raise ProtocolError(
+                            f"node {member!r} claimed by live domains "
+                            f"{owner!r} and {node_id!r}"
+                        )
+                    live_membership[member] = node_id
+
+    def check_terminal(self) -> Any:
+        """End-of-run check; returns the leader.  Raises on violations."""
+        self.check()
+        leaders = [
+            node_id
+            for node_id, node in self.net.nodes.items()
+            if node.protocol.status is CandidateStatus.LEADER
+        ]
+        if len(leaders) != 1:
+            raise ProtocolError(f"expected exactly one leader, got {leaders}")
+        winner = self.net.node(leaders[0]).protocol
+        if winner.domain.in_set != set(self.net.nodes):
+            raise ProtocolError("the leader's domain does not span the network")
+        for node_id, node in self.net.nodes.items():
+            if node_id != leaders[0] and (
+                node.protocol.status is not CandidateStatus.CAPTURED
+            ):
+                raise ProtocolError(
+                    f"non-leader {node_id!r} ended in {node.protocol.status}"
+                )
+        return leaders[0]
+
+
+def run_checked(
+    net: Network,
+    *,
+    every: int = 5,
+    max_events: int = 2_000_000,
+) -> Any:
+    """Run an attached election to quiescence, checking invariants
+    every ``every`` events; returns the elected leader."""
+    checker = ElectionInvariantChecker(net)
+    events = 0
+    while net.scheduler.step():
+        events += 1
+        if events % every == 0:
+            checker.check()
+        if events > max_events:
+            raise ProtocolError(f"no quiescence within {max_events} events")
+    return checker.check_terminal()

@@ -1,0 +1,89 @@
+"""Monte-Carlo aggregation: an experiment across many seeds.
+
+The paper's bounds are worst-case; practice cares about distributions.
+``sweep`` runs a seeded experiment function many times and summarises
+the observed metric — used, e.g., to report the election's tour+return
+calls per node as a distribution against the 6n ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Distribution summary of one observed metric across seeds."""
+
+    samples: tuple[float, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def stdev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((x - mu) ** 2 for x in self.samples) / (len(self.samples) - 1)
+        )
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    def quantile(self, q: float) -> float:
+        """Inclusive linear-interpolation quantile, q in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        ordered = sorted(self.samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def row(self) -> list[float]:
+        """[mean, stdev, min, p50, p95, max] — a ready table row."""
+        return [
+            round(self.mean, 3),
+            round(self.stdev, 3),
+            self.minimum,
+            round(self.quantile(0.5), 3),
+            round(self.quantile(0.95), 3),
+            self.maximum,
+        ]
+
+
+#: Column headers matching :meth:`Summary.row`.
+SUMMARY_HEADERS = ["mean", "stdev", "min", "p50", "p95", "max"]
+
+
+def sweep(
+    experiment: Callable[[int], float],
+    seeds: Sequence[int] | int,
+) -> Summary:
+    """Run ``experiment(seed)`` for each seed and summarise the results.
+
+    ``seeds`` may be an iterable of seeds or an int n (meaning 0..n-1).
+    """
+    if isinstance(seeds, int):
+        seeds = range(seeds)
+    samples = tuple(float(experiment(seed)) for seed in seeds)
+    if not samples:
+        raise ValueError("at least one seed is required")
+    return Summary(samples=samples)

@@ -1,0 +1,107 @@
+"""ASCII rendering of trees, labellings and path decompositions.
+
+Debugging distributed algorithms is mostly staring at trees; these
+helpers draw them.  Used by examples and handy in a REPL:
+
+>>> from repro.network import bfs_tree
+>>> from repro.analysis.render import render_tree
+>>> print(render_tree(bfs_tree({0: (1, 2), 1: (0,), 2: (0,)}, 0)))
+0
+├── 1
+└── 2
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from ..core.labeling import label_tree
+from ..core.opt_tree import OptTree
+from ..core.paths import BroadcastPath, decompose_paths
+from ..network.spanning import Tree
+
+
+def render_tree(
+    tree: Tree,
+    *,
+    annotate: Callable[[Any], str] | None = None,
+) -> str:
+    """Draw a rooted tree with box-drawing branches.
+
+    ``annotate(node)`` may add a suffix per node (e.g. its label).
+    """
+    lines: list[str] = []
+
+    def visit(node: Any, prefix: str, is_last: bool, is_root: bool) -> None:
+        suffix = f" {annotate(node)}" if annotate else ""
+        if is_root:
+            lines.append(f"{node}{suffix}")
+            child_prefix = ""
+        else:
+            branch = "└── " if is_last else "├── "
+            lines.append(f"{prefix}{branch}{node}{suffix}")
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        children = tree.children[node]
+        for index, child in enumerate(children):
+            visit(child, child_prefix, index == len(children) - 1, False)
+
+    visit(tree.root, "", True, True)
+    return "\n".join(lines)
+
+
+def render_labelled_tree(tree: Tree, labels: Mapping[Any, int] | None = None) -> str:
+    """The tree with each node's Section 3.1 label in brackets."""
+    if labels is None:
+        labels = label_tree(tree)
+    return render_tree(tree, annotate=lambda n: f"[{labels[n]}]")
+
+
+def render_paths(
+    tree: Tree, paths: Sequence[BroadcastPath] | None = None
+) -> str:
+    """The path decomposition, one line per path, chain-indented.
+
+    Paths are grouped by chain depth; indentation shows which wave of
+    the broadcast sends them.
+    """
+    if paths is None:
+        paths = decompose_paths(tree)
+    if not paths:
+        return "(single node: nothing to send)"
+    lines = []
+    for path in sorted(paths, key=lambda p: (p.chain_depth, repr(p.start))):
+        indent = "  " * (path.chain_depth - 1)
+        route = " -> ".join(str(node) for node in path.nodes)
+        lines.append(
+            f"{indent}wave {path.chain_depth} | label {path.label} | {route}"
+        )
+    return "\n".join(lines)
+
+
+def render_opt_tree(shape: OptTree, *, max_depth: int = 12) -> str:
+    """Draw an abstract OptTree shape (sizes at each node).
+
+    Structurally shared subtrees are unfolded; very deep shapes are
+    truncated with an ellipsis marker.
+    """
+    lines: list[str] = []
+
+    def visit(node: OptTree, prefix: str, is_last: bool, is_root: bool,
+              depth: int) -> None:
+        text = f"({node.size})"
+        if is_root:
+            lines.append(text)
+            child_prefix = ""
+        else:
+            branch = "└── " if is_last else "├── "
+            lines.append(f"{prefix}{branch}{text}")
+            child_prefix = prefix + ("    " if is_last else "│   ")
+        if depth >= max_depth and node.children:
+            lines.append(f"{child_prefix}└── ...")
+            return
+        for index, child in enumerate(node.children):
+            visit(child, child_prefix, index == len(node.children) - 1,
+                  False, depth + 1)
+
+    visit(shape, "", True, True, 0)
+    return "\n".join(lines)

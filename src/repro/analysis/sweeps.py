@@ -1,0 +1,101 @@
+"""Parameter-sweep drivers shared by benchmarks and examples.
+
+These produce the rows behind the E10 trade-off study: how the optimal
+aggregation tree, and its advantage over fixed shapes, changes with the
+hardware/software delay ratio C/P.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Sequence
+
+from ..core.opt_tree import Number, OptTreeBuilder, _frac
+from ..core.tree_shapes import predicted_completion, shape_catalog
+
+
+@dataclass(frozen=True)
+class TradeoffRow:
+    """One (n, P, C) point of the trade-off study."""
+
+    n: int
+    P: Fraction
+    C: Fraction
+    optimal_time: Fraction
+    root_degree: int
+    depth: int
+    star_time: Fraction
+    path_time: Fraction
+    binary_time: Fraction
+
+    @property
+    def ratio(self) -> float:
+        """C / P, the knob the study turns."""
+        return float(self.C / self.P)
+
+    @property
+    def best_baseline(self) -> str:
+        """Which fixed shape comes closest to optimal."""
+        times = {
+            "star": self.star_time,
+            "path": self.path_time,
+            "binary": self.binary_time,
+        }
+        return min(times, key=lambda k: times[k])
+
+
+def tradeoff_sweep(
+    n: int, ratios: Sequence[Number], *, P: Number = 1
+) -> list[TradeoffRow]:
+    """Optimal vs. fixed shapes across C/P ratios at fixed ``n``.
+
+    As C/P grows the optimal tree flattens toward a star (hardware hops
+    dominate, parallelism in transit is cheap); as it shrinks toward 0
+    the tree deepens toward the binomial shape (software serialisation
+    dominates).  The paper's point — a complete graph under the new
+    model is *not* the traditional model — shows up as the star being
+    optimal only in the degenerate limit.
+    """
+    Pf = _frac(P)
+    shapes = shape_catalog(n)
+    rows = []
+    for ratio in ratios:
+        C = _frac(ratio) * Pf
+        builder = OptTreeBuilder(Pf, C)
+        t_opt, tree = builder.optimal_tree_for(n)
+        rows.append(
+            TradeoffRow(
+                n=n,
+                P=Pf,
+                C=C,
+                optimal_time=t_opt,
+                root_degree=tree.degree_of_root(),
+                depth=tree.depth(),
+                star_time=predicted_completion(shapes["star"], Pf, C),
+                path_time=predicted_completion(shapes["path"], Pf, C),
+                binary_time=predicted_completion(shapes["binary"], Pf, C),
+            )
+        )
+    return rows
+
+
+@dataclass(frozen=True)
+class GrowthRow:
+    """One point of the S(t) growth table (E7/E8)."""
+
+    k: int
+    size: int
+
+
+def size_growth(P: Number, C: Number, steps: int) -> list[GrowthRow]:
+    """S at the first ``steps`` integer multiples of P (plus C offsets).
+
+    For (P=1, C=0) this is the ``2^(k-1)`` table; for (P=1, C=1) the
+    Fibonacci table.
+    """
+    builder = OptTreeBuilder(P, C)
+    Pf = _frac(P)
+    return [
+        GrowthRow(k=k, size=builder.size(k * Pf)) for k in range(1, steps + 1)
+    ]

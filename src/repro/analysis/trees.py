@@ -1,0 +1,53 @@
+"""Tree statistics shared by benchmarks and tests.
+
+Aggregates the quantities the Section 3 analysis reasons about — label
+distribution, path decomposition shape, chain depth — for any spanning
+tree, so experiment tables can be produced with one call.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from ..core.labeling import check_lemma1, label_tree, max_label
+from ..core.paths import check_chain_property, decompose_paths, max_chain_depth
+from ..network.spanning import Tree, bfs_tree
+
+
+@dataclass(frozen=True)
+class TreeStats:
+    """Summary of a labelled, decomposed tree."""
+
+    n: int
+    depth: int
+    root_label: int
+    label_histogram: dict[int, int]
+    path_count: int
+    max_path_hops: int
+    chain_depth: int
+    lemma1_holds: bool
+    chain_property_holds: bool
+
+
+def tree_stats(tree: Tree) -> TreeStats:
+    """Label, decompose and summarise a rooted tree."""
+    labels = label_tree(tree)
+    paths = decompose_paths(tree, labels)
+    return TreeStats(
+        n=len(tree),
+        depth=tree.depth(),
+        root_label=labels[tree.root],
+        label_histogram=dict(Counter(labels.values())),
+        path_count=len(paths),
+        max_path_hops=max((p.hops for p in paths), default=0),
+        chain_depth=max_chain_depth(paths),
+        lemma1_holds=check_lemma1(tree, labels),
+        chain_property_holds=check_chain_property(paths, max_label(labels)),
+    )
+
+
+def graph_tree_stats(adjacency: Mapping[Any, tuple[Any, ...]], root: Any) -> TreeStats:
+    """Stats of the minimum-hop spanning tree of a graph from ``root``."""
+    return tree_stats(bfs_tree(adjacency, root))

@@ -1,0 +1,109 @@
+"""NCU utilization analysis from simulator traces.
+
+The paper's whole premise is that the NCU is the bottleneck resource.
+This module turns a run's trace into per-node busy-time statistics so
+experiments can report not only *totals* (system calls) but *pressure*:
+how loaded the busiest processor was, how long jobs queued, and how
+utilization differs between algorithms (flooding hammers every NCU;
+the branching-paths broadcast touches each exactly once).
+
+Requires the network to have been built with ``trace=True``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..sim.trace import Trace, TraceKind
+
+
+@dataclass(frozen=True)
+class NodeUtilization:
+    """One NCU's load summary over a traced interval."""
+
+    node: Any
+    jobs: int
+    busy_time: float
+    first_start: float
+    last_end: float
+
+    @property
+    def utilization(self) -> float:
+        """Busy fraction of the node's active span (0 when idle)."""
+        span = self.last_end - self.first_start
+        if span <= 0:
+            return 1.0 if self.busy_time > 0 else 0.0
+        return min(1.0, self.busy_time / span)
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """Fleet-wide NCU load summary."""
+
+    per_node: dict[Any, NodeUtilization]
+    makespan: float
+
+    @property
+    def total_busy_time(self) -> float:
+        """Sum of busy time across all NCUs."""
+        return sum(u.busy_time for u in self.per_node.values())
+
+    @property
+    def busiest(self) -> NodeUtilization | None:
+        """The most-loaded NCU (by busy time)."""
+        if not self.per_node:
+            return None
+        return max(self.per_node.values(), key=lambda u: u.busy_time)
+
+    @property
+    def parallelism(self) -> float:
+        """Average concurrently-busy NCUs: total busy time / makespan.
+
+        1.0 means perfectly serialized software work; n means all NCUs
+        busy the whole time.  The branching-paths broadcast's log-time
+        claim is equivalent to saying its parallelism is Θ(n / log n).
+        """
+        if self.makespan <= 0:
+            return 0.0
+        return self.total_busy_time / self.makespan
+
+
+def utilization_report(trace: Trace, *, since: float = 0.0) -> UtilizationReport:
+    """Compute NCU busy times by pairing job start/end trace records.
+
+    Jobs whose start precedes ``since`` are ignored; an unmatched final
+    start (a job still in service when the trace ends) is ignored too.
+    """
+    open_jobs: dict[Any, float] = {}
+    stats: dict[Any, dict[str, float]] = {}
+    t_min, t_max = None, None
+    for record in trace:
+        if record.time < since:
+            continue
+        if record.kind is TraceKind.NCU_JOB_START:
+            open_jobs[record.node] = record.time
+        elif record.kind is TraceKind.NCU_JOB_END and record.node in open_jobs:
+            start = open_jobs.pop(record.node)
+            entry = stats.setdefault(
+                record.node,
+                {"jobs": 0, "busy": 0.0, "first": start, "last": record.time},
+            )
+            entry["jobs"] += 1
+            entry["busy"] += record.time - start
+            entry["first"] = min(entry["first"], start)
+            entry["last"] = max(entry["last"], record.time)
+            t_min = start if t_min is None else min(t_min, start)
+            t_max = record.time if t_max is None else max(t_max, record.time)
+    per_node = {
+        node: NodeUtilization(
+            node=node,
+            jobs=int(entry["jobs"]),
+            busy_time=entry["busy"],
+            first_start=entry["first"],
+            last_end=entry["last"],
+        )
+        for node, entry in stats.items()
+    }
+    makespan = (t_max - t_min) if (t_min is not None and t_max is not None) else 0.0
+    return UtilizationReport(per_node=per_node, makespan=makespan)

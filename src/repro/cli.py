@@ -1,0 +1,306 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Examples::
+
+    python -m repro broadcast --topology random:128,3 --scheme bpaths
+    python -m repro broadcast --topology grid:8,8 --compare
+    python -m repro election  --topology ring:64 --baselines
+    python -m repro converge  --topology grid:6,6 --strategy bpaths --fail 4
+    python -m repro globalfn  --n 64 --P 1 --C 2
+    python -m repro lowerbound --max-depth 10
+    python -m repro multicast --topology random:64,1 --messages 5
+
+All commands print the same row formats the benchmarks use, so shell
+runs and `pytest benchmarks/` outputs are directly comparable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .analysis.sweeps import tradeoff_sweep
+from .core import (
+    BranchingPathsBroadcast,
+    ChangRoberts,
+    DfsBroadcast,
+    DirectBroadcast,
+    FloodingBroadcast,
+    HirschbergSinclair,
+    LeaderElection,
+    OptTreeBuilder,
+    attach_topology_maintenance,
+    converge_by_rounds,
+    coverage_rounds,
+    decompose_paths,
+    greedy_schedule,
+    max_chain_depth,
+    run_group_multicast,
+    run_standalone_broadcast,
+    theorem3_lower_bound,
+)
+from .metrics import format_table
+from .network import bfs_tree, random_link_failures, topologies
+from .network.builder import from_spec
+from .sim import FixedDelays
+
+BROADCAST_SCHEMES = ("bpaths", "flood", "direct", "dfs")
+
+
+def _net(spec: str, C: float, P: float, **kwargs):
+    return from_spec(spec, delays=FixedDelays(C, P), **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_broadcast(args: argparse.Namespace) -> int:
+    if args.show_plan:
+        from .analysis.render import render_labelled_tree, render_paths
+        from .network import bfs_tree
+
+        net = _net(args.topology, args.C, args.P)
+        tree = bfs_tree(net.adjacency(), args.root)
+        print("spanning tree with Section 3.1 labels:")
+        print(render_labelled_tree(tree))
+        print("\npath decomposition (broadcast waves):")
+        print(render_paths(tree))
+        print()
+    schemes = BROADCAST_SCHEMES if args.compare else (args.scheme,)
+    rows = []
+    for scheme in schemes:
+        net = _net(args.topology, args.C, args.P)
+        adjacency = net.adjacency()
+        factories = {
+            "bpaths": lambda api: BranchingPathsBroadcast(
+                api, root=args.root, adjacency=adjacency, ids=net.id_lookup
+            ),
+            "flood": lambda api: FloodingBroadcast(api, root=args.root),
+            "direct": lambda api: DirectBroadcast(
+                api, root=args.root, adjacency=adjacency, ids=net.id_lookup
+            ),
+            "dfs": lambda api: DfsBroadcast(
+                api, root=args.root, adjacency=adjacency, ids=net.id_lookup
+            ),
+        }
+        run = run_standalone_broadcast(net, factories[scheme], args.root)
+        rows.append(
+            [scheme, net.n, net.m, run.coverage, run.system_calls,
+             run.completion_time(), run.metrics.hops]
+        )
+    print(format_table(
+        ["scheme", "n", "m", "covered", "system_calls", "time", "hops"],
+        rows,
+        title=f"broadcast from node {args.root} on {args.topology} "
+              f"(C={args.C}, P={args.P})",
+    ))
+    return 0
+
+
+def cmd_election(args: argparse.Namespace) -> int:
+    contenders = [("new (Cidon-Gopal-Kutten)", lambda api: LeaderElection(api))]
+    if args.baselines:
+        contenders += [
+            ("Chang-Roberts", lambda api: ChangRoberts(api)),
+            ("Chang-Roberts worst", lambda api: ChangRoberts(api, direction=-1)),
+            ("Hirschberg-Sinclair", lambda api: HirschbergSinclair(api)),
+        ]
+    rows = []
+    for name, factory in contenders:
+        net = _net(args.topology, args.C, args.P)
+        if args.baselines and name != contenders[0][0] and not _is_ring(net):
+            rows.append([name, net.n, "-", "-", "-", "(needs a ring)"])
+            continue
+        net.attach(factory)
+        starters = None if args.starters == "all" else [int(args.starters)]
+        net.start(starters)
+        net.run_to_quiescence(max_events=10_000_000)
+        winners = [v for v, f in net.outputs_for_key("is_leader").items() if f]
+        snap = net.metrics.snapshot()
+        tours = snap.system_calls_by_kind.get("tour", 0) + snap.system_calls_by_kind.get("return", 0)
+        rows.append(
+            [name, net.n, winners[0] if winners else "-",
+             tours or "-", snap.system_calls, net.scheduler.now]
+        )
+    print(format_table(
+        ["algorithm", "n", "leader", "tour+return", "total_sc", "time"],
+        rows,
+        title=f"leader election on {args.topology} "
+              f"(Theorem 5 bound: 6n = {6 * rows[0][1]})",
+    ))
+    return 0
+
+
+def _is_ring(net) -> bool:
+    return all(len(node.links) == 2 for node in net.nodes.values())
+
+
+def cmd_converge(args: argparse.Namespace) -> int:
+    net = _net(args.topology, args.C, args.P)
+    attach_topology_maintenance(net, strategy=args.strategy, scope=args.scope)
+    rows = []
+    result = converge_by_rounds(net, max_rounds=args.max_rounds)
+    rows.append(["cold start", result.rounds, result.system_calls])
+    if args.fail:
+        schedule = random_link_failures(net.graph, count=args.fail, seed=args.seed)
+        for action in schedule:
+            net.fail_link(*action.target)
+        net.run_to_quiescence()
+        result = converge_by_rounds(net, max_rounds=args.max_rounds)
+        rows.append([f"{len(schedule)} link failures", result.rounds,
+                     result.system_calls])
+    print(format_table(
+        ["event", "rounds", "system_calls"],
+        rows,
+        title=f"topology maintenance on {args.topology} "
+              f"(strategy={args.strategy}, scope={args.scope})",
+    ))
+    return 0
+
+
+def cmd_globalfn(args: argparse.Namespace) -> int:
+    builder = OptTreeBuilder(args.P, args.C)
+    t_opt, tree = builder.optimal_tree_for(args.n)
+    print(f"optimal tree for n={args.n}, P={args.P}, C={args.C}:")
+    print(f"  completion time : {float(t_opt)}")
+    print(f"  root degree     : {tree.degree_of_root()}")
+    print(f"  depth           : {tree.depth()}\n")
+    ratios = [0, 1, 2, 4, 8, 16]
+    rows = [
+        [f"{row.ratio:g}:1", float(row.optimal_time), row.root_degree, row.depth,
+         float(row.star_time), float(row.binary_time), float(row.path_time)]
+        for row in tradeoff_sweep(args.n, ratios, P=args.P)
+    ]
+    print(format_table(
+        ["C:P", "t_opt", "root_deg", "depth", "t_star", "t_binary", "t_path"],
+        rows,
+        title=f"trade-off sweep at n={args.n} (Section 5):",
+    ))
+    return 0
+
+
+def cmd_lowerbound(args: argparse.Namespace) -> int:
+    rows = []
+    for depth in range(1, args.max_depth + 1):
+        g = topologies.complete_binary_tree(depth)
+        adjacency = {u: tuple(sorted(g.neighbors(u))) for u in g}
+        tree = bfs_tree(adjacency, 0)
+        rows.append(
+            [depth, len(tree), theorem3_lower_bound(depth),
+             coverage_rounds(tree, greedy_schedule(tree)),
+             max_chain_depth(decompose_paths(tree))]
+        )
+    print(format_table(
+        ["depth", "n", "thm3_lower", "greedy", "bpaths"],
+        rows,
+        title="one-way broadcast rounds on complete binary trees "
+              "(Theorem 3 vs. achieved):",
+    ))
+    return 0
+
+
+def cmd_multicast(args: argparse.Namespace) -> int:
+    net = _net(args.topology, args.C, args.P)
+    run = run_group_multicast(net, args.root, bodies=list(range(args.messages)))
+    print(f"hardware multicast group on {args.topology}:")
+    print(f"  setup: {run.setup_calls} system calls, {run.setup_time} time")
+    print(f"  per message: {run.per_message_calls[0] if run.per_message_calls else '-'} "
+          f"system calls, {run.per_message_time[0] if run.per_message_time else '-'} time")
+    print(f"  coverage: {run.coverage}/{net.n - 1} non-root nodes")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def cmd_report(args: argparse.Namespace) -> int:
+    from .reporting import generate_report
+
+    path = generate_report(args.out)
+    print(f"report written to {path}")
+    for artifact in sorted(path.parent.glob("*.csv")):
+        print(f"  {artifact.name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Cidon-Gopal-Kutten (PODC 1988): "
+        "fast-network algorithms under the system-call cost measure.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--topology", default="random:64,0",
+                       help="e.g. ring:64, grid:6,8, random:128,7 (default %(default)s)")
+        p.add_argument("--C", type=float, default=0.0,
+                       help="hardware delay bound (default %(default)s)")
+        p.add_argument("--P", type=float, default=1.0,
+                       help="software delay bound (default %(default)s)")
+
+    p = sub.add_parser("broadcast", help="one topology broadcast (E1/E2)")
+    common(p)
+    p.add_argument("--scheme", choices=BROADCAST_SCHEMES, default="bpaths")
+    p.add_argument("--compare", action="store_true",
+                   help="run every scheme on the same graph")
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--show-plan", action="store_true",
+                   help="render the labelled tree and path decomposition")
+    p.set_defaults(func=cmd_broadcast)
+
+    p = sub.add_parser("election", help="leader election (E5/E6)")
+    common(p)
+    p.add_argument("--baselines", action="store_true",
+                   help="also run the ring classics (ring topologies only)")
+    p.add_argument("--starters", default="all",
+                   help="'all' or a single initiating node id")
+    p.set_defaults(func=cmd_election)
+
+    p = sub.add_parser("converge", help="topology maintenance (E4)")
+    common(p)
+    p.add_argument("--strategy", choices=("bpaths", "flood", "dfs"),
+                   default="bpaths")
+    p.add_argument("--scope", choices=("local", "full"), default="full")
+    p.add_argument("--fail", type=int, default=0,
+                   help="random link failures to inject after convergence")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-rounds", type=int, default=64)
+    p.set_defaults(func=cmd_converge)
+
+    p = sub.add_parser("globalfn", help="optimal aggregation trees (E7-E10)")
+    p.add_argument("--n", type=int, default=64)
+    p.add_argument("--P", type=float, default=1.0)
+    p.add_argument("--C", type=float, default=1.0)
+    p.set_defaults(func=cmd_globalfn)
+
+    p = sub.add_parser("lowerbound", help="one-way broadcast bounds (E3)")
+    p.add_argument("--max-depth", type=int, default=10)
+    p.set_defaults(func=cmd_lowerbound)
+
+    p = sub.add_parser(
+        "report", help="run every experiment family, write REPORT.md + CSVs"
+    )
+    p.add_argument("--out", default="report",
+                   help="output directory (default %(default)s)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("multicast", help="hardware multicast groups (E12)")
+    common(p)
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--messages", type=int, default=3)
+    p.set_defaults(func=cmd_multicast)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point (``python -m repro ...``)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,257 @@
+"""Domain bookkeeping for the Section 4 leader election.
+
+Each candidate's origin maintains (Section 4.1):
+
+* ``IN`` — all nodes in its domain;
+* ``OUT`` — all neighbours of domain nodes outside the domain;
+* the **INOUT tree** — a subgraph of the real network spanning the
+  domain, kept precisely so that a linear-length ANR between any two
+  domain nodes (or from a domain node to an OUT neighbour) can be
+  computed locally;
+* the domain ``size`` (S_i), from which the level ``(S_i, i)`` and the
+  phase ``⌊log2 S_i⌋`` derive.
+
+A captured origin's :class:`DomainState` is frozen in place and never
+mutated again: passing tours rely on it to compute their return routes
+("ANR(q, o) is at that time computed in q, using INOUT_q" — possible
+because a tour's entry node ``o`` is in the IN set of every origin above
+it in the virtual tree).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..hardware.ids import NCU_ID
+from ..hardware.link import LinkInfo
+from ..sim.errors import ProtocolError, RoutingError
+
+
+@dataclass(frozen=True)
+class Level:
+    """A candidate's level: (domain size, origin id), compared
+    lexicographically — sizes first, origin identity breaking ties."""
+
+    size: int
+    origin: Any
+
+    def __lt__(self, other: "Level") -> bool:
+        return (self.size, repr(self.origin)) < (other.size, repr(other.origin))
+
+    def __gt__(self, other: "Level") -> bool:
+        return other < self
+
+    @property
+    def phase(self) -> int:
+        """``⌊log2 size⌋`` — the tour-length budget."""
+        return self.size.bit_length() - 1
+
+
+@dataclass
+class DomainState:
+    """One origin's IN/OUT sets and INOUT tree."""
+
+    origin: Any
+    in_set: set[Any] = field(default_factory=set)
+    #: o -> (w, (normal, copy) at w for link (w, o), (normal, copy) at o)
+    #: where w is an IN node adjacent to the OUT node o.
+    out_info: dict[Any, tuple[Any, tuple[int, int], tuple[int, int]]] = field(
+        default_factory=dict
+    )
+    #: Adjacency of the INOUT tree (IN nodes only; edges are real links).
+    inout_adj: dict[Any, set[Any]] = field(default_factory=dict)
+    #: (a, b) -> (normal, copy) IDs at a of the real link a-b, for every
+    #: INOUT tree edge (both directions) and every OUT attachment edge.
+    link_ids: dict[tuple[Any, Any], tuple[int, int]] = field(default_factory=dict)
+    size: int = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def initial(cls, node_id: Any, links: Iterable[LinkInfo]) -> "DomainState":
+        """The singleton domain a node creates when it starts."""
+        state = cls(origin=node_id)
+        state.in_set = {node_id}
+        state.inout_adj = {node_id: set()}
+        for info in links:
+            if not info.active:
+                continue
+            state.out_info[info.v] = (
+                node_id,
+                (info.normal_at_u, info.copy_at_u),
+                (info.normal_at_v, info.copy_at_v),
+            )
+            state.link_ids[(node_id, info.v)] = (info.normal_at_u, info.copy_at_u)
+            state.link_ids[(info.v, node_id)] = (info.normal_at_v, info.copy_at_v)
+        state.size = 1
+        return state
+
+    # ------------------------------------------------------------------
+    # Derived
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> Level:
+        """The candidate's current level."""
+        return Level(size=self.size, origin=self.origin)
+
+    @property
+    def phase(self) -> int:
+        """``⌊log2 size⌋``."""
+        return self.level.phase
+
+    @property
+    def out_set(self) -> set[Any]:
+        """The OUT set (view over ``out_info``)."""
+        return set(self.out_info)
+
+    def pick_tour_target(self, policy: str = "min", rng: Any = None) -> Any:
+        """Select the next OUT node to tour toward.
+
+        The paper allows an *arbitrary* choice; Theorem 5's bound must
+        hold for every policy, which the ablation tests verify.
+        Policies: ``"min"`` / ``"max"`` (by id) and ``"random"``
+        (requires ``rng``).
+        """
+        if not self.out_info:
+            raise ProtocolError(f"domain {self.origin!r} has an empty OUT set")
+        if policy == "min":
+            return min(self.out_info, key=repr)
+        if policy == "max":
+            return max(self.out_info, key=repr)
+        if policy == "random":
+            if rng is None:
+                raise ValueError("the random policy needs an rng")
+            return rng.choice(sorted(self.out_info, key=repr))
+        raise ValueError(f"unknown tour policy {policy!r}")
+
+    # ------------------------------------------------------------------
+    # Routing inside the domain
+    # ------------------------------------------------------------------
+    def tree_path(self, frm: Any, to: Any) -> tuple[Any, ...]:
+        """Node path between two IN nodes along the INOUT tree."""
+        if frm not in self.inout_adj or to not in self.inout_adj:
+            raise RoutingError(
+                f"{frm!r} or {to!r} is not in domain {self.origin!r}'s INOUT tree"
+            )
+        if frm == to:
+            return (frm,)
+        parent: dict[Any, Any] = {frm: None}
+        queue = deque([frm])
+        while queue:
+            node = queue.popleft()
+            for neighbor in sorted(self.inout_adj[node], key=repr):
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    if neighbor == to:
+                        path = [to]
+                        while parent[path[-1]] is not None:
+                            path.append(parent[path[-1]])
+                        return tuple(reversed(path))
+                    queue.append(neighbor)
+        raise RoutingError(
+            f"no INOUT-tree path {frm!r} -> {to!r} in domain {self.origin!r}"
+        )
+
+    def anr_ids(self, path: tuple[Any, ...]) -> tuple[int, ...]:
+        """Raw link IDs for a node path (no delivery marker)."""
+        ids = []
+        for a, b in zip(path, path[1:]):
+            try:
+                ids.append(self.link_ids[(a, b)][0])
+            except KeyError as exc:
+                raise RoutingError(
+                    f"domain {self.origin!r} has no ID for hop {a!r}->{b!r}"
+                ) from exc
+        return tuple(ids)
+
+    def anr_to_in_node(self, frm: Any, to: Any) -> tuple[int, ...]:
+        """Full ANR (with delivery) between two IN nodes."""
+        return self.anr_ids(self.tree_path(frm, to)) + (NCU_ID,)
+
+    def anr_to_out_node(self, frm: Any, out_node: Any) -> tuple[int, ...]:
+        """Full ANR from an IN node to an OUT neighbour of the domain."""
+        try:
+            w, ids_at_w, _ = self.out_info[out_node]
+        except KeyError as exc:
+            raise RoutingError(
+                f"{out_node!r} is not in domain {self.origin!r}'s OUT set"
+            ) from exc
+        return self.anr_ids(self.tree_path(frm, w)) + (ids_at_w[0], NCU_ID)
+
+    def id_lookup(self, a: Any, b: Any) -> tuple[int, int]:
+        """(normal, copy) IDs at ``a`` for the INOUT-tree link a-b.
+
+        This is an :data:`repro.hardware.anr.IdLookup`, letting the
+        leader reuse the branching-paths broadcast planner over its
+        INOUT tree for the final announcement.
+        """
+        return self.link_ids[(a, b)]
+
+    def ids_to_node(self, frm: Any, to: Any) -> tuple[int, ...]:
+        """Raw IDs (no delivery) from ``frm`` to an IN or OUT node.
+
+        Used to build concatenated return routes such as
+        ``v -> o`` followed by the token's carried ``ANR(o, i)``.
+        """
+        if to in self.in_set:
+            return self.anr_ids(self.tree_path(frm, to))
+        w, ids_at_w, _ = self.out_info[to]
+        return self.anr_ids(self.tree_path(frm, w)) + (ids_at_w[0],)
+
+    # ------------------------------------------------------------------
+    # Merging (rule 2.2)
+    # ------------------------------------------------------------------
+    def absorb(self, other: "DomainState", attach_out_node: Any) -> None:
+        """Merge a captured domain into this one.
+
+        ``attach_out_node`` is the OUT node ``o`` through which the tour
+        entered the captured domain; the INOUT trees are joined by the
+        real link between ``o`` and its recorded IN neighbour, keeping
+        all internal ANRs linear (the paper's merge step).
+        """
+        if attach_out_node not in self.out_info:
+            raise ProtocolError(
+                f"domain {self.origin!r} cannot attach at {attach_out_node!r}: "
+                "not an OUT node"
+            )
+        if attach_out_node not in other.in_set:
+            raise ProtocolError(
+                f"attach node {attach_out_node!r} is not in the captured "
+                f"domain {other.origin!r}"
+            )
+        w, ids_at_w, ids_at_o = self.out_info[attach_out_node]
+
+        # Copy the captured INOUT tree (it stays frozen at the captured
+        # origin for future passing tours, so never share mutable sets).
+        for node, neighbors in other.inout_adj.items():
+            self.inout_adj.setdefault(node, set()).update(neighbors)
+        self.link_ids.update(other.link_ids)
+
+        # Join the trees through the (w, o) link.
+        self.inout_adj.setdefault(w, set()).add(attach_out_node)
+        self.inout_adj.setdefault(attach_out_node, set()).add(w)
+        self.link_ids[(w, attach_out_node)] = ids_at_w
+        self.link_ids[(attach_out_node, w)] = ids_at_o
+
+        # IN := IN ∪ IN_v;  OUT := OUT ∪ OUT_v − IN.
+        self.in_set |= other.in_set
+        for out_node, attachment in other.out_info.items():
+            self.out_info.setdefault(out_node, attachment)
+        for absorbed in self.in_set:
+            self.out_info.pop(absorbed, None)
+
+        self.size += other.size
+
+    def snapshot(self) -> "DomainState":
+        """Deep-enough copy shipped inside a capture's return token."""
+        return DomainState(
+            origin=self.origin,
+            in_set=set(self.in_set),
+            out_info=dict(self.out_info),
+            inout_adj={node: set(adj) for node, adj in self.inout_adj.items()},
+            link_ids=dict(self.link_ids),
+            size=self.size,
+        )

@@ -1,0 +1,76 @@
+"""Tree labelling for the branching-paths broadcast (Section 3.1).
+
+The sequential labelling the root performs on its spanning tree:
+
+* every leaf gets label ``0``;
+* an internal node whose children are all labelled looks at the largest
+  child label ``l``: if *another* child also has label ``l`` the node
+  gets ``l + 1``, otherwise it gets ``l``;
+* the label of node ``j`` is also assigned to the edge from ``j`` to its
+  parent.
+
+This is the Horton–Strahler number of the rooted tree.  Two facts carry
+the algorithm's guarantees:
+
+* **Lemma 1** — a node of label ``l`` has at most one child of label
+  ``l`` (so "extend the path along edges labelled l" is well defined);
+* **Theorem 2's counting step** — a node labelled ``l`` has at least
+  ``2^l`` nodes in its subtree, hence the maximum label is at most
+  ``log2 n``.
+
+Both are exposed as checkable predicates used by the property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..network.spanning import Tree
+
+
+def label_tree(tree: Tree) -> dict[Any, int]:
+    """Compute the paper's labels (Horton–Strahler numbers) for a tree."""
+    labels: dict[Any, int] = {}
+    for node in reversed(tree.nodes):  # children strictly before parents
+        children = tree.children[node]
+        if not children:
+            labels[node] = 0
+            continue
+        top = max(labels[child] for child in children)
+        ties = sum(1 for child in children if labels[child] == top)
+        labels[node] = top + 1 if ties > 1 else top
+    return labels
+
+
+def edge_label(labels: Mapping[Any, int], child: Any) -> int:
+    """Label of the edge from ``child`` to its parent (= the child's label)."""
+    return labels[child]
+
+
+def max_label(labels: Mapping[Any, int]) -> int:
+    """The highest label in the tree (the root's label)."""
+    return max(labels.values())
+
+
+def check_lemma1(tree: Tree, labels: Mapping[Any, int]) -> bool:
+    """Lemma 1: no node has two children sharing its own label."""
+    for node in tree.nodes:
+        same = sum(
+            1 for child in tree.children[node] if labels[child] == labels[node]
+        )
+        if same > 1:
+            return False
+    return True
+
+
+def check_label_growth(tree: Tree, labels: Mapping[Any, int]) -> bool:
+    """Theorem 2's invariant: a node labelled l roots a subtree of >= 2^l nodes."""
+    sizes = tree.subtree_sizes()
+    return all(sizes[node] >= 2 ** labels[node] for node in tree.nodes)
+
+
+def label_upper_bound(n: int) -> int:
+    """``floor(log2 n)`` — the maximum possible label on an n-node tree."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return n.bit_length() - 1

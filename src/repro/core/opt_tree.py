@@ -1,0 +1,284 @@
+"""Optimal trees for globally sensitive functions (Section 5.2).
+
+For worst-case hardware delay ``C`` and software delay ``P``, the best
+algorithm is tree-based (Theorem 6), and the optimal (t, P, C) tree —
+the largest tree whose tree-based aggregation finishes by time ``t`` —
+obeys the paper's recursion:
+
+    S(t) = 0                      for t < P
+    S(t) = 1                      for P <= t < 2P + C
+    S(t) = S(t - P) + S(t - C - P)   otherwise            (eq. 3)
+
+    OT(t) = OT(t - P)  ⊕  OT(t - C - P)                    (eq. 2)
+
+where ``⊕`` attaches the root of the second tree as a (last) child of
+the first tree's root.  Only times of the form ``iP + jC`` matter; all
+arithmetic uses :class:`fractions.Fraction` so the lattice is exact.
+
+Special cases reproduced as closed forms (and tested against the
+recursion):
+
+* ``C = 0, P = 1`` (the Sections 3–4 limiting model): binomial trees,
+  ``S(k) = 2^(k-1)``;
+* ``C = 1, P = 1``: Fibonacci trees, ``S(k) = Fib(k)``;
+* ``P = 0`` (the traditional model): the recursion blows up — a star
+  finishes any ``n`` in ``t = 1``; :func:`opt_tree_size` raises,
+  and :func:`traditional_model_time` states the degenerate answer.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator
+
+Number = int | float | Fraction
+
+
+def _frac(x: Number) -> Fraction:
+    return x if isinstance(x, Fraction) else Fraction(x)
+
+
+@dataclass(frozen=True)
+class OptTree:
+    """An immutable rooted tree with cached size.
+
+    Subtrees are structurally shared by the memoised builder; sharing is
+    safe because instances are never mutated.
+    """
+
+    children: tuple["OptTree", ...] = ()
+    size: int = 1
+
+    @staticmethod
+    def leaf() -> "OptTree":
+        """A single node."""
+        return OptTree(children=(), size=1)
+
+    def attach(self, other: "OptTree") -> "OptTree":
+        """The paper's ``⊕``: other's root becomes a new child of ours.
+
+        The new child is appended *last*: in the worst-case execution it
+        is the message the root processes last (arriving by ``t - P``).
+        """
+        return OptTree(children=self.children + (other,), size=self.size + other.size)
+
+    def depth(self) -> int:
+        """Longest root-to-leaf edge count."""
+        return 1 + max((c.depth() for c in self.children), default=-1)
+
+    def degree_of_root(self) -> int:
+        """Number of children of the root (= messages the root serves)."""
+        return len(self.children)
+
+
+class OptTreeBuilder:
+    """Memoised evaluation of the S(t) / OT(t) recursions for fixed P, C."""
+
+    def __init__(self, P: Number, C: Number) -> None:
+        self.P = _frac(P)
+        self.C = _frac(C)
+        if self.P <= 0:
+            raise ValueError(
+                "P must be positive: with free software (P = 0) the "
+                "recursion blows up — see traditional_model_time()"
+            )
+        if self.C < 0:
+            raise ValueError("C must be non-negative")
+        self._size_memo: dict[Fraction, int] = {}
+        self._tree_memo: dict[Fraction, OptTree] = {}
+
+    # ------------------------------------------------------------------
+    # S(t)
+    # ------------------------------------------------------------------
+    def size(self, t: Number) -> int:
+        """S(t): the maximum tree size finishing by time ``t``."""
+        t = _frac(t)
+        if t < self.P:
+            return 0
+        if t < 2 * self.P + self.C:
+            return 1
+        if t in self._size_memo:
+            return self._size_memo[t]
+        # Iterative unrolling (the recursion depth is t/P, which can
+        # exceed Python's stack for fine lattices).
+        stack = [t]
+        while stack:
+            top = stack[-1]
+            if top < 2 * self.P + self.C or top in self._size_memo:
+                stack.pop()
+                continue
+            a, b = top - self.P, top - self.C - self.P
+            need = [x for x in (a, b) if x >= 2 * self.P + self.C and x not in self._size_memo]
+            if need:
+                stack.extend(need)
+                continue
+            stack.pop()
+            self._size_memo[top] = self._size_at(a) + self._size_at(b)
+        return self._size_memo[t]
+
+    def _size_at(self, t: Fraction) -> int:
+        if t < self.P:
+            return 0
+        if t < 2 * self.P + self.C:
+            return 1
+        return self._size_memo[t]
+
+    # ------------------------------------------------------------------
+    # OT(t)
+    # ------------------------------------------------------------------
+    def tree(self, t: Number) -> OptTree | None:
+        """OT(t): the optimal tree finishing by ``t`` (None when S(t)=0)."""
+        t = _frac(t)
+        if t < self.P:
+            return None
+        if t < 2 * self.P + self.C:
+            return OptTree.leaf()
+        if t in self._tree_memo:
+            return self._tree_memo[t]
+        self.size(t)  # populate the size memo iteratively first
+        # Build bottom-up over the memoised times, ascending.
+        for time in sorted(self._size_memo):
+            if time in self._tree_memo or time > t:
+                continue
+            left = self._tree_at(time - self.P)
+            right = self._tree_at(time - self.C - self.P)
+            assert left is not None and right is not None
+            self._tree_memo[time] = left.attach(right)
+        return self._tree_memo[t]
+
+    def _tree_at(self, t: Fraction) -> OptTree | None:
+        if t < self.P:
+            return None
+        if t < 2 * self.P + self.C:
+            return OptTree.leaf()
+        return self._tree_memo[t]
+
+    # ------------------------------------------------------------------
+    # Inverse: optimal time for a given size
+    # ------------------------------------------------------------------
+    def lattice_times(self) -> Iterator[Fraction]:
+        """Times ``iP + jC`` in ascending order (deduplicated).
+
+        Only these instants matter (Section 5.2: other times truncate
+        down to the lattice).  The iterator is unbounded; consumers stop
+        when their size target is met.
+        """
+        seen: set[Fraction] = set()
+        heap: list[Fraction] = [self.P]
+        seen.add(self.P)
+        while heap:
+            t = heapq.heappop(heap)
+            yield t
+            for nxt in (t + self.P, t + self.C):
+                if nxt not in seen and nxt > t:
+                    seen.add(nxt)
+                    heapq.heappush(heap, nxt)
+
+    def optimal_time(self, n: int) -> Fraction:
+        """The minimal lattice time ``t`` with ``S(t) >= n``."""
+        if n < 1:
+            raise ValueError("n must be positive")
+        for t in self.lattice_times():
+            if self.size(t) >= n:
+                return t
+        raise AssertionError("unreachable: S(t) is unbounded for P > 0")
+
+    def optimal_tree_for(self, n: int) -> tuple[Fraction, OptTree]:
+        """Optimal time for ``n`` nodes plus an n-node tree achieving it.
+
+        OT(t) at the optimal time may exceed ``n`` nodes; it is pruned
+        (greedily, deepest subtrees first) down to exactly ``n`` — a
+        subtree of an optimal tree still meets the deadline.
+        """
+        t = self.optimal_time(n)
+        tree = self.tree(t)
+        assert tree is not None
+        return t, prune_to_size(tree, n)
+
+
+def prune_to_size(tree: OptTree, n: int) -> OptTree:
+    """An ``n``-node subtree of ``tree`` containing its root.
+
+    Children are retained greedily in their attachment order, truncated
+    (recursively) once the budget runs out.  Dropping latest-attached
+    children first removes the *most* deadline-critical messages, so the
+    pruned tree finishes no later than the original.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if tree.size <= n:
+        return tree
+
+    def take(node: OptTree, budget: int) -> OptTree:
+        kept: list[OptTree] = []
+        remaining = budget - 1  # the node itself
+        for child in node.children:
+            if remaining <= 0:
+                break
+            sub = take(child, min(child.size, remaining))
+            kept.append(sub)
+            remaining -= sub.size
+        return OptTree(
+            children=tuple(kept), size=1 + sum(c.size for c in kept)
+        )
+
+    return take(tree, n)
+
+
+# ----------------------------------------------------------------------
+# Closed-form special cases
+# ----------------------------------------------------------------------
+def binomial_tree(k: int) -> OptTree:
+    """The binomial tree B_{k-1} — OT(k) for C = 0, P = 1 (eq. 5).
+
+    ``binomial_tree(k).size == 2**(k-1)`` (eq. 6); ``k`` counts time
+    units, so ``k = 1`` is a single node.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    tree = OptTree.leaf()
+    for _ in range(k - 1):
+        tree = tree.attach(tree)
+    return tree
+
+
+def fibonacci_tree(k: int) -> OptTree:
+    """OT(k) for C = 1, P = 1 (eq. 8): ``size == Fib(k)`` (eq. 9).
+
+    ``k`` counts time units; sizes run 1, 1, 2, 3, 5, 8, ... for
+    k = 1, 2, 3, ... (the paper's initial condition S(k) = 1 for
+    1 <= k < 3).
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if k <= 2:
+        return OptTree.leaf()
+    trees = {1: OptTree.leaf(), 2: OptTree.leaf()}
+    for i in range(3, k + 1):
+        trees[i] = trees[i - 1].attach(trees[i - 2])
+    return trees[k]
+
+
+def fibonacci_number(k: int) -> int:
+    """Fib(k) with Fib(1) = Fib(2) = 1 — the size of ``fibonacci_tree(k)``."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    a, b = 1, 1
+    for _ in range(k - 1):
+        a, b = b, a + b
+    return a
+
+
+def traditional_model_time(n: int) -> int:
+    """Example 2 (C = 1, P = 0): the traditional model degenerates.
+
+    With free software a star computes any globally sensitive function
+    over any ``n >= 2`` nodes in one time unit (all inputs arrive in
+    parallel and processing is free); a single node needs zero time.
+    The recursion S(t) = S(t) + S(t-1) correspondingly diverges.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return 0 if n == 1 else 1

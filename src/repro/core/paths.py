@@ -1,0 +1,119 @@
+"""Path decomposition of a labelled tree (Section 3.1).
+
+Given the labelled tree, the root decomposes it into edge-disjoint
+paths: starting from the root, repeatedly extend a path downward using
+only edges of one label, as far as possible; remove the path; repeat
+from nodes that still have unused child edges.
+
+We build paths in *broadcast discovery order* (a path's start node is
+always covered by an earlier path, or is the root).  This realises the
+invariant behind Theorem 2: every path hangs off a strictly
+higher-labelled path, so the chain of paths from the root to a path
+labelled ``y`` has length at most ``1 + x - y`` where ``x`` is the
+root's label — at most ``1 + log2 n`` paths deep.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..network.spanning import Tree
+from ..sim.errors import ProtocolError
+from .labeling import label_tree
+
+
+@dataclass(frozen=True)
+class BroadcastPath:
+    """One decomposed path.
+
+    ``nodes`` runs from the start node (already informed when the path
+    launches) downward; ``label`` is the common label of its edges;
+    ``chain_depth`` is the 1-based position in the chain of paths from
+    the root (the root's own paths have depth 1).
+    """
+
+    nodes: tuple[Any, ...]
+    label: int
+    chain_depth: int
+
+    @property
+    def start(self) -> Any:
+        """The node that must send this path's message."""
+        return self.nodes[0]
+
+    @property
+    def hops(self) -> int:
+        """Number of edges on the path."""
+        return len(self.nodes) - 1
+
+
+def decompose_paths(
+    tree: Tree, labels: Mapping[Any, int] | None = None
+) -> list[BroadcastPath]:
+    """Decompose a labelled tree into the branching paths.
+
+    Returns the paths in discovery order.  For a single-node tree the
+    decomposition is empty (there is nothing to send).
+    """
+    if labels is None:
+        labels = label_tree(tree)
+
+    # Unused child edges per node, kept sorted by (label desc, repr) so
+    # "extend along the largest label" is deterministic.
+    unused: dict[Any, list[Any]] = {
+        node: sorted(tree.children[node], key=lambda c: (-labels[c], repr(c)))
+        for node in tree.parent
+    }
+
+    paths: list[BroadcastPath] = []
+    queue: deque[tuple[Any, int]] = deque([(tree.root, 0)])
+    seen = {tree.root}
+    while queue:
+        node, depth = queue.popleft()
+        while unused[node]:
+            label = labels[unused[node][0]]
+            path = [node]
+            cur = node
+            while unused[cur] and labels[unused[cur][0]] == label:
+                nxt = unused[cur].pop(0)
+                path.append(nxt)
+                cur = nxt
+            paths.append(
+                BroadcastPath(nodes=tuple(path), label=label, chain_depth=depth + 1)
+            )
+            for covered in path[1:]:
+                if covered in seen:  # pragma: no cover - trees are acyclic
+                    raise ProtocolError(f"node {covered!r} covered twice")
+                seen.add(covered)
+                queue.append((covered, depth + 1))
+
+    if len(seen) != len(tree.parent):  # pragma: no cover - defensive
+        raise ProtocolError("path decomposition did not cover the tree")
+    return paths
+
+
+def paths_starting_at(
+    paths: Sequence[BroadcastPath], node: Any
+) -> tuple[BroadcastPath, ...]:
+    """The paths a given node must launch when it is informed."""
+    return tuple(p for p in paths if p.start == node)
+
+
+def max_chain_depth(paths: Sequence[BroadcastPath]) -> int:
+    """Length of the longest chain of paths — the broadcast's time bound.
+
+    Theorem 2 guarantees this is at most ``1 + log2 n``; the trivial
+    single-node broadcast has depth 0.
+    """
+    return max((p.chain_depth for p in paths), default=0)
+
+
+def check_chain_property(paths: Sequence[BroadcastPath], root_label: int) -> bool:
+    """Verify the Theorem 2 bound path-by-path.
+
+    Every path labelled ``y`` must sit at chain depth at most
+    ``1 + root_label - y``.
+    """
+    return all(p.chain_depth <= 1 + root_label - p.label for p in paths)

@@ -1,0 +1,139 @@
+"""Aggregation-tree shapes and their worst-case completion times.
+
+Section 5's trade-off study compares the optimal tree against natural
+baselines — the star (optimal in the traditional model), the path, and
+the balanced binary tree — as the hardware/software delay ratio C/P
+varies.  :func:`predicted_completion` evaluates any shape analytically
+under the sequential-NCU model, which the simulator cross-checks.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Any, Sequence
+
+from ..network.spanning import Tree
+from .opt_tree import Number, OptTree, _frac
+
+
+def star_tree(n: int) -> OptTree:
+    """Root with ``n - 1`` leaf children — the traditional-model optimum."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    leaf = OptTree.leaf()
+    return OptTree(children=(leaf,) * (n - 1), size=n)
+
+
+def path_tree(n: int) -> OptTree:
+    """A chain of ``n`` nodes — maximal pipelining, maximal depth."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    tree = OptTree.leaf()
+    for _ in range(n - 1):
+        tree = OptTree(children=(tree,), size=tree.size + 1)
+    return tree
+
+
+def balanced_binary_tree(n: int) -> OptTree:
+    """A heap-shaped binary tree on exactly ``n`` nodes."""
+    if n < 1:
+        raise ValueError("n must be positive")
+
+    def build(index: int) -> OptTree | None:
+        if index >= n:
+            return None
+        kids = tuple(
+            child
+            for child in (build(2 * index + 1), build(2 * index + 2))
+            if child is not None
+        )
+        return OptTree(children=kids, size=1 + sum(c.size for c in kids))
+
+    tree = build(0)
+    assert tree is not None
+    return tree
+
+
+def predicted_completion(tree: OptTree, P: Number, C: Number) -> Fraction:
+    """Worst-case finish time of the tree-based algorithm on this shape.
+
+    Model (Section 5.2): every node's NCU first serves its START job
+    (``P``), then serves one ``P``-length job per child message in
+    arrival order; a node sends to its parent when its last job ends,
+    and the message arrives ``C`` later.  The returned value is the
+    root's finish time — for ``OT(t)`` it equals ``t`` exactly, which
+    the tests assert.
+    """
+    P, C = _frac(P), _frac(C)
+    if P < 0 or C < 0:
+        raise ValueError("delays must be non-negative")
+    finish: dict[int, Fraction] = {}
+    # Iterative post-order (path trees exceed the recursion limit);
+    # memoised by object identity so structurally shared trees (e.g.
+    # binomial trees built by self-attachment) cost O(distinct subtrees),
+    # not O(positions) — finish times depend only on the subtree shape.
+    stack: list[tuple[OptTree, bool]] = [(tree, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if id(node) in finish:
+            continue
+        if expanded:
+            arrivals = sorted(finish[id(child)] + C for child in node.children)
+            t = P  # the START job
+            for arrival in arrivals:
+                t = max(t, arrival) + P
+            finish[id(node)] = t
+        else:
+            stack.append((node, True))
+            stack.extend(
+                (child, False)
+                for child in node.children
+                if id(child) not in finish
+            )
+    return finish[id(tree)]
+
+
+def to_spanning_tree(shape: OptTree, node_ids: Sequence[Any]) -> Tree:
+    """Map an abstract shape onto concrete node IDs (BFS order).
+
+    ``node_ids[0]`` becomes the root.  Shapes with structural sharing
+    (e.g. binomial trees built by self-attachment) are unfolded: every
+    tree *position* gets its own ID.
+    """
+    if len(node_ids) != shape.size:
+        raise ValueError(
+            f"need exactly {shape.size} node ids, got {len(node_ids)}"
+        )
+    parent: dict[Any, Any] = {node_ids[0]: None}
+    queue: list[tuple[OptTree, Any]] = [(shape, node_ids[0])]
+    next_index = 1
+    head = 0
+    while head < len(queue):
+        node, node_id = queue[head]
+        head += 1
+        for child in node.children:
+            child_id = node_ids[next_index]
+            next_index += 1
+            parent[child_id] = node_id
+            queue.append((child, child_id))
+    return Tree(root=node_ids[0], parent=parent)
+
+
+def shape_catalog(n: int) -> dict[str, OptTree]:
+    """The baseline shapes at size ``n``, keyed by name."""
+    return {
+        "star": star_tree(n),
+        "path": path_tree(n),
+        "binary": balanced_binary_tree(n),
+    }
+
+
+def canonical_shape(tree: OptTree) -> tuple:
+    """A canonical (order-independent) encoding of a tree shape.
+
+    Two trees are isomorphic as unordered rooted trees iff their
+    canonical encodings are equal — used by tests to check, e.g., that
+    ``OptTreeBuilder(1, 1).tree(k)`` *is* the Fibonacci tree, not merely
+    the same size.
+    """
+    return tuple(sorted((canonical_shape(child) for child in tree.children)))

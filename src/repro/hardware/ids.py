@@ -1,0 +1,129 @@
+"""Link-ID spaces for the switching subsystem.
+
+The paper's hardware model (Section 2) gives every incident link of a
+switching subsystem (SS) a finite non-empty set of IDs, all ``k`` bits
+long with ``k = O(log m)``.  We instantiate the specific scheme the
+paper describes:
+
+* every link gets a unique **normal ID** within its SS;
+* the (virtual) link to the NCU always has normal ID ``0``;
+* every link except the NCU link also gets a **copy ID**, identical to
+  the normal ID "except for the most significant bit";
+* the NCU link additionally holds *all* copy IDs, which is what makes a
+  copy-ID hop deliver the packet both onward and into the local NCU
+  (the *selective copy* of Figure 3).
+
+IDs are plain ints.  :func:`header_to_bits` / :func:`header_from_bits`
+realise the paper's "packet = bit string ``xy``" view for tests and for
+measuring header lengths in bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The predefined normal ID of the link leading to the NCU in every SS.
+NCU_ID = 0
+
+
+def copy_flag(capacity: int) -> int:
+    """The most-significant-bit mask distinguishing copy IDs.
+
+    ``capacity`` is the largest normal ID the scheme must represent
+    (i.e. the maximal SS degree in the network).  The flag is the
+    smallest power of two strictly greater than ``capacity`` so normal
+    IDs ``0..capacity`` and copy IDs ``flag+1..flag+capacity`` never
+    collide.
+    """
+    if capacity < 1:
+        raise ValueError("capacity must be at least 1")
+    flag = 1
+    while flag <= capacity:
+        flag <<= 1
+    return flag
+
+
+def id_bits(capacity: int) -> int:
+    """Bits per ID, ``k = O(log m)``: enough for flag | capacity."""
+    return (copy_flag(capacity) | capacity).bit_length()
+
+
+def group_id_base(capacity: int) -> int:
+    """First ID of the multicast-group range.
+
+    The paper's SS definition already allows one ID to belong to
+    *several* links' ID sets ("outputs y over every link i such that
+    x ∈ Li"); the base scheme simply never exploits it.  The multicast
+    extension (Section 2's "more powerful models" remark) installs
+    **group IDs** — drawn from a third range above all normal and copy
+    IDs — that match a set of member links at once.  With g groups the
+    ID width grows to O(log(m + g)), still logarithmic.
+    """
+    return copy_flag(capacity) << 1
+
+
+@dataclass(frozen=True)
+class LinkIdSpace:
+    """Assigns normal and copy IDs for one SS.
+
+    All SSs in a network share the same ``capacity`` (the maximum degree)
+    so that IDs are uniformly ``k`` bits, matching the paper's fixed-
+    length-ID packets.  Link *indices* are local: the i-th incident link
+    of a node gets normal ID ``i + 1`` (0 is reserved for the NCU).
+    """
+
+    capacity: int
+
+    @property
+    def flag(self) -> int:
+        """Copy-ID bit mask."""
+        return copy_flag(self.capacity)
+
+    @property
+    def k(self) -> int:
+        """ID width in bits."""
+        return id_bits(self.capacity)
+
+    @property
+    def group_base(self) -> int:
+        """First ID of the multicast-group range (see :func:`group_id_base`)."""
+        return group_id_base(self.capacity)
+
+    def normal_id(self, index: int) -> int:
+        """Normal ID of the link with local index ``index`` (0-based)."""
+        if not 0 <= index < self.capacity:
+            raise ValueError(f"link index {index} outside [0, {self.capacity})")
+        return index + 1
+
+    def copy_id(self, index: int) -> int:
+        """Copy ID of the link with local index ``index`` (0-based)."""
+        return self.flag | self.normal_id(index)
+
+    def is_copy(self, link_id: int) -> bool:
+        """Whether ``link_id`` is a copy ID."""
+        return bool(link_id & self.flag)
+
+    def to_normal(self, link_id: int) -> int:
+        """Strip the copy bit, returning the underlying normal ID."""
+        return link_id & ~self.flag
+
+    def to_copy(self, link_id: int) -> int:
+        """Set the copy bit on a normal ID (the NCU ID has no copy form)."""
+        if link_id == NCU_ID:
+            raise ValueError("the NCU link has no copy ID")
+        return link_id | self.flag
+
+
+def header_to_bits(header: tuple[int, ...], k: int) -> str:
+    """Encode an ANR header as the concatenated k-bit ID string."""
+    for link_id in header:
+        if link_id.bit_length() > k:
+            raise ValueError(f"ID {link_id} does not fit in {k} bits")
+    return "".join(format(link_id, f"0{k}b") for link_id in header)
+
+
+def header_from_bits(bits: str, k: int) -> tuple[int, ...]:
+    """Decode a concatenated k-bit ID string back into an ANR header."""
+    if len(bits) % k:
+        raise ValueError(f"bit string length {len(bits)} is not a multiple of {k}")
+    return tuple(int(bits[i : i + k], 2) for i in range(0, len(bits), k))

@@ -1,0 +1,130 @@
+"""Bidirectional communication links.
+
+A link connects two switching subsystems.  Each side knows the link
+under its own local IDs (normal + copy).  Links are either *active* —
+delivering every message in finite time, FIFO per direction — or
+*inactive* — delivering nothing (the paper's "changing topology" model,
+Section 2).  Packets forwarded onto an inactive link are silently lost,
+which is exactly the failure mode that breaks the DFS broadcast and
+motivates the branching-paths broadcast of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class LinkInfo:
+    """One node's view of an adjacent link.
+
+    This is the unit of "local topology" in the paper: the node at
+    ``u`` knows the neighbour's identity and the link's IDs (both
+    sides — the data-link initialisation exchanges them) and the
+    operational state.  ``LinkInfo`` values are immutable snapshots;
+    protocols store and ship them inside topology messages.
+    """
+
+    u: Any
+    v: Any
+    normal_at_u: int
+    copy_at_u: int
+    normal_at_v: int
+    copy_at_v: int
+    active: bool = True
+
+    @property
+    def key(self) -> tuple[Any, Any]:
+        """Canonical undirected identifier of the link."""
+        return (self.u, self.v) if repr(self.u) <= repr(self.v) else (self.v, self.u)
+
+    def reversed(self) -> "LinkInfo":
+        """The same link as seen from the other endpoint."""
+        return LinkInfo(
+            u=self.v,
+            v=self.u,
+            normal_at_u=self.normal_at_v,
+            copy_at_u=self.copy_at_v,
+            normal_at_v=self.normal_at_u,
+            copy_at_v=self.copy_at_u,
+            active=self.active,
+        )
+
+
+class Link:
+    """The mutable link object owned by the network."""
+
+    def __init__(
+        self,
+        node_u: Any,
+        node_v: Any,
+        *,
+        normal_at_u: int,
+        copy_at_u: int,
+        normal_at_v: int,
+        copy_at_v: int,
+    ) -> None:
+        self.node_u = node_u
+        self.node_v = node_v
+        self._ids = {
+            node_u.node_id: (normal_at_u, copy_at_u),
+            node_v.node_id: (normal_at_v, copy_at_v),
+        }
+        self.active = True
+        #: Per-direction FIFO watermark: latest arrival time already
+        #: promised on this link, keyed by the *sending* node id.
+        self._last_arrival: dict[Any, float] = {
+            node_u.node_id: 0.0,
+            node_v.node_id: 0.0,
+        }
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    @property
+    def key(self) -> tuple[Any, Any]:
+        """Canonical undirected identifier ``(min, max)`` of endpoints."""
+        a, b = self.node_u.node_id, self.node_v.node_id
+        return (a, b) if repr(a) <= repr(b) else (b, a)
+
+    def other(self, node_id: Any) -> Any:
+        """The node object at the far end from ``node_id``."""
+        if node_id == self.node_u.node_id:
+            return self.node_v
+        if node_id == self.node_v.node_id:
+            return self.node_u
+        raise KeyError(f"node {node_id} is not an endpoint of link {self.key}")
+
+    def ids_at(self, node_id: Any) -> tuple[int, int]:
+        """``(normal, copy)`` IDs of this link at the given endpoint."""
+        return self._ids[node_id]
+
+    def info_at(self, node_id: Any) -> LinkInfo:
+        """The :class:`LinkInfo` snapshot as seen from ``node_id``."""
+        other = self.other(node_id)
+        normal_u, copy_u = self._ids[node_id]
+        normal_v, copy_v = self._ids[other.node_id]
+        return LinkInfo(
+            u=node_id,
+            v=other.node_id,
+            normal_at_u=normal_u,
+            copy_at_u=copy_u,
+            normal_at_v=normal_v,
+            copy_at_v=copy_v,
+            active=self.active,
+        )
+
+    # ------------------------------------------------------------------
+    # FIFO bookkeeping
+    # ------------------------------------------------------------------
+    def fifo_arrival(self, sender_id: Any, proposed: float) -> float:
+        """Clamp an arrival time so per-direction FIFO order holds.
+
+        With fixed delays this is a no-op; with random delays it
+        prevents a later packet overtaking an earlier one, which the
+        model forbids (FIFO links, required in Section 5).
+        """
+        arrival = max(proposed, self._last_arrival[sender_id])
+        self._last_arrival[sender_id] = arrival
+        return arrival

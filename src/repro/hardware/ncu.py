@@ -1,0 +1,264 @@
+"""The network control unit (NCU): the paper's "software".
+
+Each node has a single NCU — a sequential processor.  Every involvement
+of the NCU (handling a received packet, a start signal, a timer, or a
+link-state notification) is one **system call**: it is counted in the
+metrics and it occupies the processor for one software delay (≤ P).
+
+Jobs are served FIFO, one at a time; a burst of arrivals queues up and
+is charged P each, which is exactly the sequential-processing assumption
+behind the Section 5 recursion ``S(t) = S(t-P) + S(t-C-P)``.
+
+Whatever a handler *sends* departs at the end of its service slot, and a
+single handler invocation may inject any number of packets — the model's
+"transmission of the same message over multiple outgoing links at no
+extra processing cost" (Section 2), which the branching-paths broadcast
+exploits.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from ..sim.errors import ProtocolError
+from ..sim.events import Event
+from ..sim.trace import TraceKind
+from .link import LinkInfo
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+
+class JobKind(Enum):
+    """What triggered an NCU involvement."""
+
+    START = "start"
+    PACKET = "packet"
+    TIMER = "timer"
+    LINK_EVENT = "link_event"
+
+
+@dataclass(slots=True)
+class Job:
+    """One unit of NCU work (= one system call once served)."""
+
+    kind: JobKind
+    payload: Any = None
+    tag: str = ""
+    enqueued_at: float = 0.0
+
+    @property
+    def accounting_kind(self) -> str:
+        """Label under which this job is counted in the metrics.
+
+        Packet jobs use the payload's ``kind`` attribute when present so
+        protocols get per-message-type system-call counts for free.
+        """
+        if self.kind is JobKind.PACKET:
+            payload = self.payload.payload if isinstance(self.payload, Packet) else None
+            return getattr(payload, "kind", JobKind.PACKET.value)
+        if self.kind is JobKind.TIMER and self.tag:
+            return f"timer:{self.tag}"
+        return self.kind.value
+
+
+class NodeApi:
+    """The facade a protocol sees while its handler runs.
+
+    Deliberately narrow: a protocol can inspect its local topology, send
+    packets with explicit ANR headers, set timers and report outputs —
+    nothing else.  Global knowledge must arrive through messages, as in
+    the paper's model.
+    """
+
+    def __init__(self, node: "Node") -> None:
+        self._node = node
+
+    # -- identity and time ---------------------------------------------
+    @property
+    def node_id(self) -> Any:
+        """This node's identity."""
+        return self._node.node_id
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._node.net.scheduler.now
+
+    # -- local topology -------------------------------------------------
+    def local_links(self) -> tuple[LinkInfo, ...]:
+        """Snapshots of all adjacent links (active and inactive)."""
+        return self._node.local_topology()
+
+    def active_links(self) -> tuple[LinkInfo, ...]:
+        """Snapshots of the currently active adjacent links."""
+        return tuple(info for info in self._node.local_topology() if info.active)
+
+    def neighbors(self) -> tuple[Any, ...]:
+        """IDs of neighbours across active links, in sorted order."""
+        return tuple(info.v for info in self.active_links())
+
+    @property
+    def degree(self) -> int:
+        """Number of adjacent links (active or not)."""
+        return len(self._node.links)
+
+    # -- actions ----------------------------------------------------------
+    def send(self, header: tuple[int, ...], payload: Any) -> Packet:
+        """Inject one packet at the local SS with the given ANR header.
+
+        May be called any number of times inside a single handler
+        invocation at no extra software cost (the multicast primitive).
+        """
+        return self._node.inject(header, payload)
+
+    def install_group(
+        self,
+        group_id: int,
+        child_neighbors: tuple[Any, ...],
+        *,
+        to_ncu: bool = True,
+    ) -> None:
+        """Install a multicast group at the local SS (hardware extension).
+
+        ``child_neighbors`` are adjacent node IDs whose links become the
+        group's member links here.  Installing happens inside the
+        current system call — it is the software action that provisions
+        hardware state, so it costs nothing extra beyond the call that
+        performs it.
+        """
+        node = self._node
+        links = tuple(node.link_to(v) for v in child_neighbors)
+        node.ss.install_group(group_id, links, to_ncu=to_ncu)
+
+    def uninstall_group(self, group_id: int) -> None:
+        """Remove a multicast group from the local SS."""
+        self._node.ss.uninstall_group(group_id)
+
+    def set_timer(self, delay: float, tag: str = "", payload: Any = None) -> Event:
+        """Schedule an ``on_timer`` involvement ``delay`` from now.
+
+        Returns the underlying event; cancelling it prevents the job
+        from being enqueued (an already-enqueued job cannot be recalled).
+        """
+        node = self._node
+
+        def fire() -> None:
+            node.net.trace.record(
+                node.net.scheduler.now, TraceKind.TIMER_FIRED, node.node_id, tag=tag
+            )
+            node.ncu.enqueue(
+                Job(
+                    kind=JobKind.TIMER,
+                    payload=payload,
+                    tag=tag,
+                    enqueued_at=node.net.scheduler.now,
+                )
+            )
+
+        return node.net.scheduler.schedule(delay, fire, priority=2, tag=f"timer:{tag}")
+
+    def report(self, key: str, value: Any) -> None:
+        """Publish a named output (read by drivers and tests)."""
+        self._node.net.record_output(self._node.node_id, key, value)
+
+    def log(self, **detail: Any) -> None:
+        """Leave a protocol note in the trace."""
+        self._node.net.trace.record(
+            self.now, TraceKind.PROTOCOL_NOTE, self._node.node_id, **detail
+        )
+
+
+class NCU:
+    """Single-server FIFO job queue with software-delay service times."""
+
+    def __init__(self, node: "Node") -> None:
+        self._node = node
+        self._queue: deque[Job] = deque()
+        self._busy = False
+        self._job_seq = 0
+        #: Set by the network when a protocol is attached.
+        self.handler: Callable[[NodeApi, Job], None] | None = None
+        #: While a handler runs, the set of first-header IDs (output
+        #: ports) already used by sends in this invocation; ``None``
+        #: outside handler context.  Enforces the model's multicast
+        #: primitive: one system call may transmit over several
+        #: *distinct* outgoing links at no extra cost, but pushing two
+        #: packets through the same port needs two involvements.
+        self.ports_used_this_call: set[int] | None = None
+
+    @property
+    def busy(self) -> bool:
+        """Whether a job is currently in service."""
+        return self._busy
+
+    @property
+    def queued(self) -> int:
+        """Jobs waiting behind the one in service."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Enqueueing
+    # ------------------------------------------------------------------
+    def enqueue_packet(self, packet: Packet) -> None:
+        """A copy has been delivered by the SS toward this NCU."""
+        self.enqueue(
+            Job(
+                kind=JobKind.PACKET,
+                payload=packet,
+                enqueued_at=self._node.net.scheduler.now,
+            )
+        )
+
+    def enqueue(self, job: Job) -> None:
+        """Queue one job; begins service immediately if the NCU is idle."""
+        if self.handler is None:
+            raise ProtocolError(
+                f"node {self._node.node_id} received a {job.kind.value} job "
+                "but no protocol is attached"
+            )
+        self._queue.append(job)
+        if not self._busy:
+            self._begin_next()
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    def _begin_next(self) -> None:
+        net = self._node.net
+        job = self._queue.popleft()
+        self._busy = True
+        self._job_seq += 1
+        net.metrics.count_system_call(self._node.node_id, job.accounting_kind)
+        net.trace.record(
+            net.scheduler.now,
+            TraceKind.NCU_JOB_START,
+            self._node.node_id,
+            job=job.accounting_kind,
+        )
+        service = net.delays.software_delay(self._node.node_id, self._job_seq)
+        net.scheduler.schedule(
+            service, lambda: self._complete(job), priority=1, tag="ncu"
+        )
+
+    def _complete(self, job: Job) -> None:
+        net = self._node.net
+        assert self.handler is not None
+        self.ports_used_this_call = set()
+        try:
+            self.handler(self._node.api, job)
+        finally:
+            self.ports_used_this_call = None
+            net.trace.record(
+                net.scheduler.now,
+                TraceKind.NCU_JOB_END,
+                self._node.node_id,
+                job=job.accounting_kind,
+            )
+            self._busy = False
+            if self._queue:
+                self._begin_next()

@@ -1,0 +1,108 @@
+"""A node: one switching subsystem plus one NCU (the paper's Figure 1)."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..sim.errors import PathTooLongError, ProtocolError, RoutingError
+from ..sim.trace import TraceKind
+from .ids import LinkIdSpace
+from .link import Link, LinkInfo
+from .ncu import NCU, NodeApi
+from .packet import Packet
+from .switch import SwitchingSubsystem
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+
+
+class Node:
+    """One network node.
+
+    The node object wires together the SS, the NCU and the API facade;
+    it owns no protocol logic.  Packet injection — the NCU handing a
+    packet to its own SS — lives here because it is where the ``dmax``
+    path-length restriction of Section 2 is enforced.
+    """
+
+    def __init__(self, node_id: Any, net: "Network", id_space: LinkIdSpace) -> None:
+        self.node_id = node_id
+        self.net = net
+        self.ss = SwitchingSubsystem(self, id_space)
+        self.ncu = NCU(self)
+        self.api = NodeApi(self)
+        #: Adjacent links keyed by neighbour ID.
+        self.links: dict[Any, Link] = {}
+        #: The protocol instance attached to this node (if any).
+        self.protocol: Any = None
+
+    def add_link(self, link: Link) -> None:
+        """Register an incident link (build time only)."""
+        other = link.other(self.node_id)
+        if other.node_id in self.links:
+            raise ValueError(
+                f"parallel link {self.node_id}-{other.node_id}: the model "
+                "assumes a simple graph"
+            )
+        self.links[other.node_id] = link
+        self.ss.attach_link(link)
+
+    def link_to(self, neighbor_id: Any) -> Link:
+        """The link toward a neighbour (KeyError if not adjacent)."""
+        return self.links[neighbor_id]
+
+    def local_topology(self) -> tuple[LinkInfo, ...]:
+        """This node's local topology: one snapshot per adjacent link.
+
+        Sorted by neighbour ID for determinism.  This is the unit of
+        information a topology-maintenance broadcast disseminates.
+        """
+        return tuple(
+            self.links[neighbor].info_at(self.node_id)
+            for neighbor in sorted(self.links, key=repr)
+        )
+
+    def inject(self, header: tuple[int, ...], payload: Any) -> Packet:
+        """Create a packet and push it into the local SS.
+
+        Enforces the ``dmax`` restriction on header length: source
+        routes longer than the network's configured maximum raise
+        :class:`PathTooLongError` rather than being silently truncated.
+        """
+        header = tuple(header)
+        if len(header) > self.net.dmax:
+            raise PathTooLongError(
+                f"ANR header of {len(header)} IDs exceeds dmax={self.net.dmax}"
+            )
+        if not header:
+            raise RoutingError("cannot inject a packet with an empty ANR header")
+        ports = self.ncu.ports_used_this_call
+        if ports is not None:
+            port = self.ss.id_space.to_normal(header[0]) if header[0] else 0
+            if port in ports:
+                raise ProtocolError(
+                    f"node {self.node_id} sent two packets through port "
+                    f"{port} in one system call; the multicast primitive "
+                    "covers distinct outgoing links only"
+                )
+            ports.add(port)
+        packet = Packet(
+            seq=self.net.next_packet_seq(),
+            origin=self.node_id,
+            header=header,
+            payload=payload,
+            injected_at=self.net.scheduler.now,
+        )
+        self.net.metrics.count_injection(self.node_id, len(header))
+        self.net.trace.record(
+            self.net.scheduler.now,
+            TraceKind.PACKET_INJECTED,
+            self.node_id,
+            packet=packet.seq,
+            header_len=len(header),
+        )
+        self.ss.receive(packet, None)
+        return packet
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.node_id!r}, degree={len(self.links)})"

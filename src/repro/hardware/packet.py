@@ -1,0 +1,73 @@
+"""Packets: an ANR header plus an opaque payload.
+
+A packet is the paper's bit string ``p = xy``: the leading ``x`` is the
+next link ID to consume and ``y`` is the rest (remaining header followed
+by the payload).  We keep the header as a tuple of ints and the payload
+as an arbitrary Python object; :mod:`repro.hardware.ids` provides the
+bit-level view where it matters (header length accounting, tests).
+
+Packets also accumulate a **reverse ANR** as they travel: at each hop
+the normal ID of the traversed link *at the receiving side* is pushed
+onto the front, so a receiver holds a ready-made route back to the
+sender.  This realises the paper's assumption (Section 2) that "a
+receiver will be able to send a packet back to the sender" via one of
+the known techniques (reverse-path accumulation is the one we model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+
+@dataclass(slots=True)
+class Packet:
+    """A message in flight.
+
+    Attributes
+    ----------
+    seq:
+        Network-unique packet number (assigned at injection).
+    origin:
+        Node whose NCU injected the packet.
+    header:
+        Remaining ANR header: the IDs not yet consumed by a switch.
+    payload:
+        Opaque protocol data; never examined by the hardware, matching
+        the paper's assumption that software delay does not depend on
+        message content.
+    hops:
+        Links traversed so far.
+    reverse_anr:
+        Accumulated route back to the origin (receiving-side normal IDs,
+        most recent hop first).  Append ``NCU_ID`` to address the
+        origin's NCU — see :func:`repro.hardware.anr.reply_route`.
+    injected_at:
+        Simulated time of injection.
+    """
+
+    seq: int
+    origin: Any
+    header: tuple[int, ...]
+    payload: Any
+    hops: int = 0
+    reverse_anr: tuple[int, ...] = ()
+    injected_at: float = 0.0
+    _header_len_at_injection: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if self._header_len_at_injection == 0:
+            self._header_len_at_injection = len(self.header)
+
+    @property
+    def original_header_length(self) -> int:
+        """Length (in IDs) of the header as injected; compared to dmax."""
+        return self._header_len_at_injection
+
+    def delivery_copy(self) -> "Packet":
+        """Snapshot handed to an NCU when a copy ID (or the NCU ID) fires.
+
+        The in-flight packet object keeps moving, so the NCU gets its
+        own frozen view of the remaining header and reverse path.
+        """
+        return replace(self)

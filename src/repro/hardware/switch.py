@@ -1,0 +1,231 @@
+"""The switching subsystem (SS): the paper's "hardware".
+
+An SS receives a packet ``xy`` over one of its incident links (or from
+its own NCU), strips the leading ID ``x`` and outputs ``y`` over every
+incident link whose ID set contains ``x``:
+
+* a **normal** link ID matches exactly one outgoing link;
+* a **copy** link ID matches that link *and* the NCU link (the NCU link
+  holds all copy IDs), realising the selective copy;
+* the **NCU ID** (0) matches only the NCU link — the packet terminates
+  here.
+
+Everything in this module runs at hardware speed: the only delays are
+the per-hop hardware delay ``C`` charged when a packet is forwarded
+over a link.  No system calls are counted here.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..sim.trace import TraceKind
+from .ids import NCU_ID, LinkIdSpace
+from .link import Link
+from .packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .node import Node
+
+
+class SwitchingSubsystem:
+    """Per-node hardware switch with the paper's ID-set semantics."""
+
+    def __init__(self, node: "Node", id_space: LinkIdSpace) -> None:
+        self._node = node
+        self._id_space = id_space
+        #: Both the normal and the copy ID of a link map to it.
+        self._link_by_id: dict[int, Link] = {}
+        #: IDs that also match the NCU link (all copy IDs).
+        self._ncu_copy_ids: set[int] = set()
+        #: Installed multicast groups: id -> (member links, copy to NCU).
+        #: Part of the "more powerful hardware" extension; empty unless
+        #: software installs groups (see ``install_group``).
+        self._groups: dict[int, tuple[tuple[Link, ...], bool]] = {}
+
+    @property
+    def id_space(self) -> LinkIdSpace:
+        """The ID scheme shared by the whole network."""
+        return self._id_space
+
+    def attach_link(self, link: Link) -> None:
+        """Register a link's IDs (called once per link at build time)."""
+        normal, copy = link.ids_at(self._node.node_id)
+        for link_id in (normal, copy):
+            if link_id in self._link_by_id:
+                raise ValueError(
+                    f"duplicate link ID {link_id} at node {self._node.node_id}"
+                )
+        self._link_by_id[normal] = link
+        self._link_by_id[copy] = link
+        self._ncu_copy_ids.add(copy)
+
+    # ------------------------------------------------------------------
+    # Multicast groups (hardware extension)
+    # ------------------------------------------------------------------
+    def install_group(
+        self, group_id: int, links: tuple[Link, ...], *, to_ncu: bool = True
+    ) -> None:
+        """Install a multicast group ID at this SS.
+
+        A packet whose next ID is ``group_id`` is replicated in hardware
+        over every member link — with the group ID *re-prepended*, so
+        the tree forwards itself — and, when ``to_ncu`` is set, a copy
+        of the remainder is delivered to the local NCU.  Installing is a
+        software action (the setup protocol pays system calls for it);
+        once installed, a network-wide multicast costs the sender one
+        injection.
+
+        Group IDs must come from the group range (above all normal and
+        copy IDs) so they can never shadow point-to-point routing.
+        """
+        if group_id < self._id_space.group_base:
+            raise ValueError(
+                f"{group_id} is not a group ID (group range starts at "
+                f"{self._id_space.group_base})"
+            )
+        self._groups[group_id] = (tuple(links), to_ncu)
+
+    def uninstall_group(self, group_id: int) -> None:
+        """Remove a previously installed group (idempotent)."""
+        self._groups.pop(group_id, None)
+
+    def _receive_group(self, packet: Packet, group_id: int) -> None:
+        net = self._node.net
+        me = self._node.node_id
+        links, to_ncu = self._groups[group_id]
+        if to_ncu:
+            copy = packet.delivery_copy()
+            net.metrics.count_copy(me)
+            net.trace.record(
+                net.scheduler.now,
+                TraceKind.PACKET_COPIED,
+                me,
+                packet=packet.seq,
+                group=group_id,
+            )
+            self._node.ncu.enqueue_packet(copy)
+        # The dmax guard doubles as cycle protection: a mis-installed
+        # cyclic group drops its packets instead of replicating forever.
+        if packet.hops >= self._node.net.dmax:
+            if links:
+                net.metrics.count_drop("group_hop_limit")
+                net.trace.record(
+                    net.scheduler.now,
+                    TraceKind.PACKET_DROPPED,
+                    me,
+                    packet=packet.seq,
+                    reason="group_hop_limit",
+                )
+            return
+        for link in links:
+            branch = packet.delivery_copy()
+            branch.header = (group_id,) + packet.header
+            self._forward(branch, link)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, via_link: Link | None) -> None:
+        """Process a packet arriving over ``via_link`` (None = local NCU).
+
+        Consumes the leading header ID and dispatches according to the
+        ID-set matching rule.  Unroutable or header-exhausted packets
+        are dropped (and traced) — the hardware has no error channel.
+        """
+        net = self._node.net
+        me = self._node.node_id
+        if not packet.header:
+            net.metrics.count_drop("header_exhausted")
+            net.trace.record(
+                net.scheduler.now,
+                TraceKind.PACKET_DROPPED,
+                me,
+                packet=packet.seq,
+                reason="header_exhausted",
+            )
+            return
+
+        next_id = packet.header[0]
+        packet.header = packet.header[1:]
+
+        if next_id in self._groups:
+            self._receive_group(packet, next_id)
+            return
+
+        to_ncu = next_id == NCU_ID or next_id in self._ncu_copy_ids
+        out_link = self._link_by_id.get(next_id)
+
+        if to_ncu:
+            copy = packet.delivery_copy()
+            net.metrics.count_copy(me)
+            net.trace.record(
+                net.scheduler.now,
+                TraceKind.PACKET_COPIED,
+                me,
+                packet=packet.seq,
+                final=out_link is None,
+            )
+            self._node.ncu.enqueue_packet(copy)
+
+        if out_link is not None:
+            self._forward(packet, out_link)
+        elif not to_ncu:
+            net.metrics.count_drop("unroutable_id")
+            net.trace.record(
+                net.scheduler.now,
+                TraceKind.PACKET_DROPPED,
+                me,
+                packet=packet.seq,
+                reason="unroutable_id",
+                id=next_id,
+            )
+
+    def _forward(self, packet: Packet, link: Link) -> None:
+        """Send the packet onward over one link, charging the C delay."""
+        net = self._node.net
+        me = self._node.node_id
+        if not link.active:
+            net.metrics.count_drop("inactive_link")
+            net.trace.record(
+                net.scheduler.now,
+                TraceKind.PACKET_DROPPED,
+                me,
+                packet=packet.seq,
+                reason="inactive_link",
+                link=link.key,
+            )
+            return
+
+        other = link.other(me)
+        delay = net.delays.hardware_delay(link.key, packet.seq)
+        arrival = link.fifo_arrival(me, net.scheduler.now + delay)
+        packet.hops += 1
+        receiving_normal, _ = link.ids_at(other.node_id)
+        packet.reverse_anr = (receiving_normal,) + packet.reverse_anr
+        net.metrics.count_hop(link.key)
+        net.trace.record(
+            net.scheduler.now,
+            TraceKind.PACKET_HOP,
+            me,
+            packet=packet.seq,
+            link=link.key,
+            to=other.node_id,
+        )
+
+        def deliver() -> None:
+            # A link that went down while the packet was in flight loses it.
+            if not link.active:
+                net.metrics.count_drop("inactive_link")
+                net.trace.record(
+                    net.scheduler.now,
+                    TraceKind.PACKET_DROPPED,
+                    other.node_id,
+                    packet=packet.seq,
+                    reason="inactive_link",
+                    link=link.key,
+                )
+                return
+            other.ss.receive(packet, link)
+
+        net.scheduler.schedule_at(arrival, deliver, priority=0, tag="hop")

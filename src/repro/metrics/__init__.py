@@ -1,0 +1,23 @@
+"""Complexity accounting: system-call, hop and time measures."""
+
+from .accounting import MetricsCollector, MetricsSnapshot
+from .measures import (
+    hop_complexity,
+    max_system_calls_per_node,
+    message_complexity,
+    system_call_complexity,
+    time_units,
+)
+from .report import format_ratio, format_table
+
+__all__ = [
+    "MetricsCollector",
+    "MetricsSnapshot",
+    "format_ratio",
+    "format_table",
+    "hop_complexity",
+    "max_system_calls_per_node",
+    "message_complexity",
+    "system_call_complexity",
+    "time_units",
+]

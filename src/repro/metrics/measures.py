@@ -1,0 +1,60 @@
+"""Formal complexity measures derived from a run.
+
+These helpers translate raw counters and elapsed simulated time into the
+measures the paper states its results in:
+
+* ``system_call_complexity`` — total NCU involvements (Section 2).
+* ``hop_complexity`` — the traditional communication complexity.
+* ``time_units`` — elapsed time divided by the software bound ``P``,
+  which is how "time" is quoted in the limiting model of Sections 3–4
+  (each unit is one software delay; hardware is free).
+
+Because the initiating START of an algorithm is itself an NCU
+involvement in our accounting, the helpers accept an ``exclude_kinds``
+set so a measurement can match the paper's convention exactly (the
+paper's per-broadcast count of *n*, for instance, counts the root's
+sending involvement but not the external trigger).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .accounting import MetricsSnapshot
+
+
+def system_call_complexity(
+    snapshot: MetricsSnapshot, exclude_kinds: Iterable[str] = ()
+) -> int:
+    """Total NCU involvements, optionally ignoring some job kinds."""
+    excluded = sum(snapshot.system_calls_by_kind.get(kind, 0) for kind in exclude_kinds)
+    return snapshot.system_calls - excluded
+
+
+def hop_complexity(snapshot: MetricsSnapshot) -> int:
+    """Traditional communication complexity: total link traversals."""
+    return snapshot.hops
+
+
+def message_complexity(snapshot: MetricsSnapshot) -> int:
+    """Number of packets injected by NCUs ("direct messages")."""
+    return snapshot.packets_injected
+
+
+def time_units(elapsed: float, software_bound: float) -> float:
+    """Elapsed simulated time expressed in units of the software bound P.
+
+    Under the limiting model (C = 0, P = 1) this is the paper's time
+    complexity; with P = 0 the notion is undefined and a ``ValueError``
+    is raised.
+    """
+    if software_bound <= 0:
+        raise ValueError("time in software units requires P > 0")
+    return elapsed / software_bound
+
+
+def max_system_calls_per_node(snapshot: MetricsSnapshot) -> int:
+    """The busiest NCU's involvement count (a load-balance indicator)."""
+    if not snapshot.system_calls_per_node:
+        return 0
+    return max(snapshot.system_calls_per_node.values())

@@ -1,0 +1,56 @@
+"""Plain-text rendering of measurement rows.
+
+The benchmark harnesses print tables in a uniform format so that
+``EXPERIMENTS.md`` can quote them directly.  Rendering is deliberately
+dependency-free (no tabulate / rich): fixed-width columns computed from
+the data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    Floats are formatted with ``float_fmt``; everything else with
+    ``str``.  Column widths adapt to the content.
+    """
+
+    def cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return str(value)
+        if isinstance(value, float):
+            return float_fmt.format(value)
+        return str(value)
+
+    str_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+
+    def line(parts: Sequence[str]) -> str:
+        return "  ".join(text.rjust(widths[i]) for i, text in enumerate(parts))
+
+    out: list[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_ratio(observed: float, reference: float) -> str:
+    """Human-readable "observed / reference" factor, e.g. ``3.2x``."""
+    if reference == 0:
+        return "inf" if observed else "0.0x"
+    return f"{observed / reference:.2f}x"

@@ -1,0 +1,32 @@
+"""Network assembly, topology generators, spanning trees and failures."""
+
+from . import topologies
+from .failures import (
+    FailureAction,
+    FailureKind,
+    FailureSchedule,
+    flapping_link,
+    random_link_failures,
+)
+from .builder import from_adjacency, from_edges, from_spec
+from .network import Network
+from .protocol import Protocol, ProtocolFactory
+from .spanning import Tree, bfs_tree, tree_from_parent
+
+__all__ = [
+    "FailureAction",
+    "FailureKind",
+    "FailureSchedule",
+    "Network",
+    "from_adjacency",
+    "from_edges",
+    "from_spec",
+    "Protocol",
+    "ProtocolFactory",
+    "Tree",
+    "bfs_tree",
+    "flapping_link",
+    "random_link_failures",
+    "topologies",
+    "tree_from_parent",
+]

@@ -1,0 +1,267 @@
+"""The network: nodes, links, and the simulation harness around them.
+
+``Network`` assembles the hardware substrate from a graph, owns the
+scheduler / delay model / metrics / trace, attaches protocols, injects
+START signals, and applies link failures with data-link notification.
+
+A note on ``dmax``: the paper bounds the length of hardware paths and
+suggests the network diameter or the number of nodes as natural values.
+The default here is ``2 * n + 2`` because the leader election's return
+routes concatenate two linear-length ANRs (Section 4.1); callers may
+tighten it to the diameter to study the restriction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+from ..hardware.ids import LinkIdSpace
+from ..hardware.link import Link
+from ..hardware.ncu import Job, JobKind
+from ..hardware.node import Node
+from ..metrics.accounting import MetricsCollector
+from ..sim.delays import DelayModel, limiting_model
+from ..sim.scheduler import Scheduler
+from ..sim.trace import Trace, TraceKind
+from .datalink import DataLinkMonitor
+from .protocol import ProtocolFactory
+
+
+class Network:
+    """A simulated fast network with SS/NCU nodes."""
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        *,
+        delays: DelayModel | None = None,
+        dmax: int | None = None,
+        trace: bool = False,
+        trace_capacity: int | None = None,
+        datalink_delay: float = 0.0,
+    ) -> None:
+        if graph.number_of_nodes() == 0:
+            raise ValueError("a network needs at least one node")
+        if any(u == v for u, v in graph.edges):
+            raise ValueError("self-loops are not supported")
+
+        self.graph = nx.Graph(graph)
+        self.scheduler = Scheduler()
+        self.delays = delays if delays is not None else limiting_model()
+        self.metrics = MetricsCollector()
+        self.trace = Trace(enabled=trace, capacity=trace_capacity)
+        self.dmax = dmax if dmax is not None else 2 * graph.number_of_nodes() + 2
+        self.outputs: dict[Any, dict[str, Any]] = {}
+
+        self._packet_seq = itertools.count(1)
+        self._group_seq = itertools.count(0)
+        self._datalink = DataLinkMonitor(self, delay=datalink_delay)
+
+        max_degree = max((d for _, d in self.graph.degree), default=1)
+        id_space = LinkIdSpace(capacity=max(max_degree, 1))
+        self.id_space = id_space
+
+        self.nodes: dict[Any, Node] = {
+            node_id: Node(node_id, self, id_space)
+            for node_id in sorted(self.graph.nodes, key=repr)
+        }
+        self.links: dict[tuple[Any, Any], Link] = {}
+        link_index: dict[Any, int] = {node_id: 0 for node_id in self.nodes}
+        for u, v in sorted(self.graph.edges, key=lambda e: (repr(e[0]), repr(e[1]))):
+            iu, iv = link_index[u], link_index[v]
+            link_index[u] += 1
+            link_index[v] += 1
+            link = Link(
+                self.nodes[u],
+                self.nodes[v],
+                normal_at_u=id_space.normal_id(iu),
+                copy_at_u=id_space.copy_id(iu),
+                normal_at_v=id_space.normal_id(iv),
+                copy_at_v=id_space.copy_id(iv),
+            )
+            self.nodes[u].add_link(link)
+            self.nodes[v].add_link(link)
+            self.links[link.key] = link
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return len(self.nodes)
+
+    @property
+    def m(self) -> int:
+        """Number of links."""
+        return len(self.links)
+
+    def node(self, node_id: Any) -> Node:
+        """Node object by ID."""
+        return self.nodes[node_id]
+
+    def link(self, u: Any, v: Any) -> Link:
+        """Link object by (unordered) endpoint pair."""
+        key = (u, v) if (u, v) in self.links else (v, u)
+        return self.links[key]
+
+    def diameter(self) -> int:
+        """Hop diameter of the (current, active) topology."""
+        return nx.diameter(self.active_graph())
+
+    def active_graph(self) -> nx.Graph:
+        """The topology restricted to active links."""
+        g = nx.Graph()
+        g.add_nodes_from(self.graph.nodes)
+        g.add_edges_from(key for key, link in self.links.items() if link.active)
+        return g
+
+    # ------------------------------------------------------------------
+    # Protocol lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, factory: ProtocolFactory) -> None:
+        """Instantiate the protocol on every node and wire the NCUs."""
+        for node in self.nodes.values():
+            protocol = factory(node.api)
+            node.protocol = protocol
+            node.ncu.handler = protocol.dispatch
+
+    def start(
+        self,
+        node_ids: Iterable[Any] | None = None,
+        *,
+        payload: Any = None,
+        at: float | None = None,
+    ) -> None:
+        """Deliver START signals (each one is an NCU job, hence a system
+        call) to the given nodes — all nodes by default — at time ``at``
+        (default: the current simulated time)."""
+        if at is None:
+            at = self.scheduler.now
+        targets = list(self.nodes) if node_ids is None else list(node_ids)
+        for node_id in targets:
+            node = self.nodes[node_id]
+            self.scheduler.schedule_at(
+                at,
+                lambda node=node: node.ncu.enqueue(
+                    Job(kind=JobKind.START, payload=payload, enqueued_at=at)
+                ),
+                priority=2,
+                tag="start",
+            )
+
+    def run(self, **kwargs: Any) -> float:
+        """Run the scheduler (see :meth:`repro.sim.Scheduler.run`)."""
+        return self.scheduler.run(**kwargs)
+
+    def run_to_quiescence(self, max_events: int = 5_000_000) -> float:
+        """Run until no events remain; returns the final time."""
+        return self.scheduler.run(max_events=max_events)
+
+    # ------------------------------------------------------------------
+    # Outputs
+    # ------------------------------------------------------------------
+    def record_output(self, node_id: Any, key: str, value: Any) -> None:
+        """Store a protocol-reported output (see ``api.report``)."""
+        self.outputs.setdefault(node_id, {})[key] = value
+
+    def output(self, node_id: Any, key: str, default: Any = None) -> Any:
+        """Read back a protocol-reported output."""
+        return self.outputs.get(node_id, {}).get(key, default)
+
+    def outputs_for_key(self, key: str) -> dict[Any, Any]:
+        """All nodes' values for one output key."""
+        return {
+            node_id: values[key]
+            for node_id, values in self.outputs.items()
+            if key in values
+        }
+
+    # ------------------------------------------------------------------
+    # Failures
+    # ------------------------------------------------------------------
+    def fail_link(self, u: Any, v: Any) -> None:
+        """Deactivate a link now; endpoints learn via the data link."""
+        self._set_link_state(u, v, active=False)
+
+    def restore_link(self, u: Any, v: Any) -> None:
+        """Reactivate a link now; endpoints learn via the data link."""
+        self._set_link_state(u, v, active=True)
+
+    def fail_node(self, node_id: Any) -> None:
+        """Model a node failure: deactivate all its links (Section 2)."""
+        for neighbor in list(self.nodes[node_id].links):
+            self.fail_link(node_id, neighbor)
+
+    def restore_node(self, node_id: Any) -> None:
+        """Reactivate all links of a previously failed node."""
+        for neighbor in list(self.nodes[node_id].links):
+            self.restore_link(node_id, neighbor)
+
+    def schedule_link_failure(self, u: Any, v: Any, at: float) -> None:
+        """Deactivate a link at a future simulated time."""
+        self.scheduler.schedule_at(at, lambda: self.fail_link(u, v), tag="fail")
+
+    def schedule_link_restore(self, u: Any, v: Any, at: float) -> None:
+        """Reactivate a link at a future simulated time."""
+        self.scheduler.schedule_at(at, lambda: self.restore_link(u, v), tag="restore")
+
+    def _set_link_state(self, u: Any, v: Any, *, active: bool) -> None:
+        link = self.link(u, v)
+        if link.active == active:
+            return
+        link.active = active
+        self.trace.record(
+            self.scheduler.now,
+            TraceKind.LINK_STATE,
+            None,
+            link=link.key,
+            active=active,
+        )
+        self._datalink.link_changed(link)
+
+    # ------------------------------------------------------------------
+    # Omniscient helpers (drivers and tests, not protocols)
+    # ------------------------------------------------------------------
+    def next_packet_seq(self) -> int:
+        """Fresh network-unique packet number."""
+        return next(self._packet_seq)
+
+    def id_lookup(self, a: Any, b: Any) -> tuple[int, int]:
+        """Omniscient ANR ID lookup: IDs of link (a, b) at a's side.
+
+        Protocols must *not* call this — they learn IDs from local
+        topology and received messages; it exists for tests, drivers and
+        baseline algorithms that the paper grants full routing tables.
+        """
+        return self.nodes[a].link_to(b).ids_at(a)
+
+    def allocate_group_id(self) -> int:
+        """A fresh network-unique multicast-group ID (hardware extension)."""
+        return self.id_space.group_base + next(self._group_seq)
+
+    def install_multicast_tree(self, tree) -> int:
+        """Omniscient driver helper: install a multicast tree everywhere.
+
+        Protocols should install groups through the setup broadcast
+        (see :class:`repro.core.group_multicast.GroupMulticast`), which
+        pays the system calls; this shortcut exists for tests and for
+        modelling pre-provisioned hardware state.
+        """
+        group_id = self.allocate_group_id()
+        for node_id in tree.parent:
+            node = self.nodes[node_id]
+            links = tuple(node.link_to(child) for child in tree.children[node_id])
+            node.ss.install_group(group_id, links, to_ncu=node_id != tree.root)
+        return group_id
+
+    def adjacency(self) -> Mapping[Any, tuple[Any, ...]]:
+        """Deterministic adjacency view of the active topology."""
+        g = self.active_graph()
+        return {
+            node: tuple(sorted(g.neighbors(node), key=repr))
+            for node in sorted(g.nodes, key=repr)
+        }

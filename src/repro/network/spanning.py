@@ -1,0 +1,141 @@
+"""Rooted trees and minimum-hop (BFS) spanning trees.
+
+The topology-maintenance algorithm broadcasts over "a spanning tree
+(rooted at i) of minimum hop paths" in the node's current view of the
+topology (Section 3.1, step 1).  :func:`bfs_tree` computes exactly that,
+deterministically (neighbours explored in sorted order), from any
+adjacency mapping — typically a node's learned topology database, not
+the ground truth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class Tree:
+    """An immutable rooted tree.
+
+    ``parent`` maps every node to its parent (the root maps to ``None``);
+    ``children`` is the derived down-link view with deterministically
+    sorted child order.
+    """
+
+    root: Any
+    parent: Mapping[Any, Any]
+    children: Mapping[Any, tuple[Any, ...]] = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.parent.get(self.root, "missing") is not None:
+            raise ValueError("the root's parent entry must be None")
+        if self.children is None:
+            kids: dict[Any, list[Any]] = {node: [] for node in self.parent}
+            for node, par in self.parent.items():
+                if par is not None:
+                    if par not in kids:
+                        raise ValueError(f"parent {par!r} of {node!r} is not a node")
+                    kids[par].append(node)
+            frozen = {
+                node: tuple(sorted(cs, key=repr)) for node, cs in kids.items()
+            }
+            object.__setattr__(self, "children", frozen)
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[Any, ...]:
+        """All nodes, root first, in BFS order."""
+        out = [self.root]
+        queue = deque([self.root])
+        while queue:
+            node = queue.popleft()
+            for child in self.children[node]:
+                out.append(child)
+                queue.append(child)
+        return tuple(out)
+
+    def __len__(self) -> int:
+        return len(self.parent)
+
+    def __contains__(self, node: Any) -> bool:
+        return node in self.parent
+
+    def edges(self) -> Iterator[tuple[Any, Any]]:
+        """(parent, child) pairs."""
+        for node, par in self.parent.items():
+            if par is not None:
+                yield (par, node)
+
+    def leaves(self) -> tuple[Any, ...]:
+        """Nodes without children, sorted."""
+        return tuple(
+            sorted((n for n in self.parent if not self.children[n]), key=repr)
+        )
+
+    def depth_of(self, node: Any) -> int:
+        """Edge distance from the root."""
+        depth = 0
+        while self.parent[node] is not None:
+            node = self.parent[node]
+            depth += 1
+        return depth
+
+    def depth(self) -> int:
+        """Height of the tree (max root-to-leaf edge count)."""
+        return max((self.depth_of(leaf) for leaf in self.leaves()), default=0)
+
+    def path_from_root(self, node: Any) -> tuple[Any, ...]:
+        """Node sequence root → ... → node."""
+        path = [node]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return tuple(reversed(path))
+
+    def subtree_sizes(self) -> dict[Any, int]:
+        """Number of nodes in each node's subtree (itself included)."""
+        sizes: dict[Any, int] = {}
+        for node in reversed(self.nodes):
+            sizes[node] = 1 + sum(sizes[c] for c in self.children[node])
+        return sizes
+
+    def subtree_nodes(self, node: Any) -> tuple[Any, ...]:
+        """All nodes in the subtree rooted at ``node`` (BFS order)."""
+        out = [node]
+        queue = deque([node])
+        while queue:
+            cur = queue.popleft()
+            for child in self.children[cur]:
+                out.append(child)
+                queue.append(child)
+        return tuple(out)
+
+
+def bfs_tree(adjacency: Mapping[Any, Iterable[Any]], root: Any) -> Tree:
+    """Minimum-hop spanning tree of the component containing ``root``.
+
+    ``adjacency`` may describe a partial or even wrong view of the
+    network (a node's topology database); the tree spans exactly the
+    nodes reachable in that view.  Neighbours are explored in sorted
+    order so identical views yield identical trees on every node — a
+    property the tests rely on.
+    """
+    if root not in adjacency:
+        raise ValueError(f"root {root!r} is not a node of the adjacency")
+    parent: dict[Any, Any] = {root: None}
+    queue = deque([root])
+    while queue:
+        node = queue.popleft()
+        for neighbor in sorted(adjacency.get(node, ()), key=repr):
+            if neighbor not in parent:
+                parent[neighbor] = node
+                queue.append(neighbor)
+    return Tree(root=root, parent=parent)
+
+
+def tree_from_parent(root: Any, parent: Mapping[Any, Any]) -> Tree:
+    """Build a :class:`Tree` from an explicit parent map."""
+    return Tree(root=root, parent=dict(parent))

@@ -1,0 +1,178 @@
+"""Topology generators for experiments.
+
+All generators return simple connected :class:`networkx.Graph` objects
+with integer node IDs ``0 .. n-1``.  The selection covers the shapes the
+paper's analyses distinguish:
+
+* **complete graphs** — the Section 5 setting;
+* **complete binary trees** — the Section 3.4 lower-bound instance;
+* **caterpillars / brooms / paths** — extreme cases for the tree
+  labelling (few long paths vs. many short ones);
+* **rings** — the classic leader-election battleground;
+* **grids, hypercubes, random graphs** — generic multi-path topologies
+  for topology-maintenance experiments with failures.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to 0..n-1 deterministically (sorted old labels)."""
+    mapping = {old: new for new, old in enumerate(sorted(graph.nodes, key=repr))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def line(n: int) -> nx.Graph:
+    """Path graph on ``n`` nodes."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return nx.path_graph(n)
+
+
+def ring(n: int) -> nx.Graph:
+    """Cycle on ``n >= 3`` nodes."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    return nx.cycle_graph(n)
+
+
+def star(n: int) -> nx.Graph:
+    """Star: node 0 is the hub, nodes 1..n-1 are leaves."""
+    if n < 2:
+        raise ValueError("a star needs at least 2 nodes")
+    return nx.star_graph(n - 1)
+
+
+def complete(n: int) -> nx.Graph:
+    """Complete graph K_n — the Section 5 setting."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return nx.complete_graph(n)
+
+
+def grid(rows: int, cols: int) -> nx.Graph:
+    """2-D grid, relabelled to integers row-major."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    return _relabel(nx.grid_2d_graph(rows, cols))
+
+
+def hypercube(dim: int) -> nx.Graph:
+    """Binary hypercube of the given dimension (2**dim nodes)."""
+    if dim < 1:
+        raise ValueError("dimension must be positive")
+    return _relabel(nx.hypercube_graph(dim))
+
+
+def complete_binary_tree(depth: int) -> nx.Graph:
+    """Complete binary tree of the given depth (root = node 0).
+
+    ``depth`` counts edges on a root-to-leaf path; the tree has
+    ``2**(depth+1) - 1`` nodes, heap-indexed (children of ``i`` are
+    ``2i+1`` and ``2i+2``).  This is the lower-bound instance of
+    Section 3.4.
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = 2 ** (depth + 1) - 1
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                g.add_edge(i, child)
+    return g
+
+
+def balanced_tree(branching: int, height: int) -> nx.Graph:
+    """Balanced ``branching``-ary tree of the given height (root = 0)."""
+    if branching < 1 or height < 0:
+        raise ValueError("branching must be >= 1 and height >= 0")
+    return _relabel(nx.balanced_tree(branching, height))
+
+
+def caterpillar(spine: int, legs_per_node: int) -> nx.Graph:
+    """A spine path with ``legs_per_node`` leaves hanging off each node.
+
+    Caterpillars decompose into one long spine path plus single-edge
+    paths, making them the friendly extreme for the branching-paths
+    broadcast (label of the spine stays small).
+    """
+    if spine < 1 or legs_per_node < 0:
+        raise ValueError("spine must be positive, legs non-negative")
+    g = nx.path_graph(spine)
+    next_id = spine
+    for s in range(spine):
+        for _ in range(legs_per_node):
+            g.add_edge(s, next_id)
+            next_id += 1
+    return g
+
+
+def broom(handle: int, bristles: int) -> nx.Graph:
+    """A path of length ``handle`` ending in a star of ``bristles`` leaves.
+
+    Node 0 is the tip of the handle; the last handle node is the hub.
+    """
+    if handle < 1 or bristles < 0:
+        raise ValueError("handle must be positive, bristles non-negative")
+    g = nx.path_graph(handle)
+    hub = handle - 1
+    next_id = handle
+    for _ in range(bristles):
+        g.add_edge(hub, next_id)
+        next_id += 1
+    return g
+
+
+def random_connected(n: int, p: float, seed: int = 0, max_tries: int = 200) -> nx.Graph:
+    """Erdős–Rényi G(n, p), resampled until connected."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return nx.empty_graph(1)
+    for attempt in range(max_tries):
+        g = nx.gnp_random_graph(n, p, seed=seed + attempt)
+        if nx.is_connected(g):
+            return g
+    raise ValueError(f"could not sample a connected G({n}, {p}) in {max_tries} tries")
+
+
+def random_geometric_connected(
+    n: int, radius: float, seed: int = 0, max_tries: int = 200
+) -> nx.Graph:
+    """Random geometric graph in the unit square, resampled until connected."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n == 1:
+        return nx.empty_graph(1)
+    for attempt in range(max_tries):
+        g = nx.random_geometric_graph(n, radius, seed=seed + attempt)
+        if nx.is_connected(g):
+            return _relabel(g)
+    raise ValueError(
+        f"could not sample a connected geometric graph ({n}, {radius}) "
+        f"in {max_tries} tries"
+    )
+
+
+def barbell(clique: int, path: int) -> nx.Graph:
+    """Two cliques of size ``clique`` joined by a path of ``path`` nodes."""
+    if clique < 3:
+        raise ValueError("clique size must be at least 3")
+    return nx.barbell_graph(clique, path)
+
+
+def two_connected_example() -> nx.Graph:
+    """The six-node graph of the Section 3 non-convergence example.
+
+    A triangle ``u, v, w`` (nodes 0, 1, 2) with a pendant leaf on each
+    triangle node (``u1, v1, w1`` = nodes 3, 4, 5).  Failing the three
+    pendant edges while each triangle node broadcasts with a DFS-style
+    traversal produces the deadlock described in the paper.
+    """
+    g = nx.Graph()
+    g.add_edges_from([(0, 1), (1, 2), (2, 0), (0, 3), (1, 4), (2, 5)])
+    return g

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the simulator and the hardware substrate.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to distinguish routing problems from protocol bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event scheduler was used incorrectly.
+
+    Examples: scheduling an event in the past, or running a scheduler
+    that has already been told to stop.
+    """
+
+
+class RoutingError(ReproError):
+    """An ANR header could not be constructed or could not be followed.
+
+    Raised when a requested route refers to nodes that are not adjacent,
+    to links that do not exist, or to link IDs unknown at a switching
+    subsystem.
+    """
+
+
+class PathTooLongError(RoutingError):
+    """An ANR header exceeds the network's ``dmax`` path-length bound.
+
+    The paper restricts the maximal path permitted through the hardware
+    (Section 2, "Path length restriction"); the network enforces the
+    bound at injection time and raises this error when it is violated.
+    """
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached a state its specification forbids.
+
+    This signals a bug in a protocol implementation (for instance, a
+    leader-election token arriving at a node that should be unreachable),
+    never an expected runtime condition such as a link failure.
+    """
+
+
+class NotConvergedError(ReproError):
+    """A convergence-driven run exhausted its budget before converging.
+
+    Raised by drivers that repeatedly trigger protocol rounds (e.g. the
+    topology-maintenance convergence driver) when the allowed number of
+    rounds or simulated time is exhausted while nodes still disagree.
+    """

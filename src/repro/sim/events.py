@@ -1,0 +1,58 @@
+"""Event objects for the discrete-event scheduler.
+
+An :class:`Event` couples a firing time with a zero-argument callable.
+Events are totally ordered by ``(time, priority, seq)`` where ``seq`` is
+a monotonically increasing insertion counter; this makes simulation runs
+fully deterministic even when many events share a firing time (which is
+the common case in the paper's limiting model where hardware delays are
+zero).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+#: Global insertion counter shared by all schedulers in the process.  A
+#: per-scheduler counter would work equally well; a module-level counter
+#: keeps :class:`Event` trivially constructible in tests.
+_SEQ = itertools.count()
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes
+    ----------
+    time:
+        Simulated time at which the event fires.
+    priority:
+        Tie-breaker between events that share a firing time.  Lower
+        priorities fire first.  The hardware layer uses priority ``0``
+        for packet movement and the protocol layer uses ``1`` for NCU
+        job completions, so that a packet arriving "at the same time" as
+        a service completion is already enqueued when the NCU looks for
+        its next job.
+    seq:
+        Insertion counter; guarantees FIFO order among otherwise equal
+        events and makes the heap ordering total.
+    action:
+        Zero-argument callable executed when the event fires.
+    tag:
+        Free-form label used by traces and tests.
+    cancelled:
+        Cancelled events stay in the heap but are skipped when popped.
+    """
+
+    time: float
+    priority: int = 0
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    action: Callable[[], None] = field(compare=False, default=lambda: None)
+    tag: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler drops it instead of firing it."""
+        self.cancelled = True

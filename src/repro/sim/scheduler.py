@@ -1,0 +1,176 @@
+"""A deterministic discrete-event scheduler.
+
+The scheduler is the single source of time in a simulation.  All other
+components (links, switching subsystems, NCUs, failure injectors) obtain
+the current time from :attr:`Scheduler.now` and advance the world only
+through :meth:`Scheduler.schedule`.
+
+Determinism
+-----------
+Runs are reproducible bit-for-bit: events are ordered by
+``(time, priority, insertion sequence)`` and any randomness lives in the
+delay models, which take explicit seeds.  This property is load-bearing
+for the test suite, which asserts exact system-call counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Iterator
+
+from .errors import SimulationError
+from .events import Event
+
+
+class Scheduler:
+    """Priority-queue driven simulation loop."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now: float = 0.0
+        self._events_processed: int = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired since construction."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def peek_time(self) -> float | None:
+        """Firing time of the next live event, or ``None`` if quiescent."""
+        self._drop_cancelled()
+        if not self._queue:
+            return None
+        return self._queue[0].time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now.
+
+        ``delay`` must be non-negative; zero-delay events are legal and
+        fire after all events already queued for the current instant
+        with the same priority (FIFO).
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self._now + delay, priority=priority, action=action, tag=tag)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[[], None],
+        *,
+        priority: int = 0,
+        tag: str = "",
+    ) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time}, current time is {self._now}"
+            )
+        event = Event(time=time, priority=priority, action=action, tag=tag)
+        heapq.heappush(self._queue, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Drain the event queue.
+
+        Parameters
+        ----------
+        until:
+            Stop before firing any event scheduled strictly after this
+            time (events *at* ``until`` still fire).  The clock is
+            advanced to ``until`` on return.
+        max_events:
+            Safety valve against runaway protocols; raises
+            :class:`SimulationError` when exceeded.
+        stop_when:
+            Checked after every event; the run stops early as soon as it
+            returns ``True``.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("scheduler is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                self._drop_cancelled()
+                if not self._queue:
+                    break
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self._now = max(self._now, until)
+                    break
+                heapq.heappop(self._queue)
+                self._now = event.time
+                event.action()
+                self._events_processed += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "a protocol is probably not terminating"
+                    )
+                if stop_when is not None and stop_when():
+                    break
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns ``False`` when quiescent."""
+        self._drop_cancelled()
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event.action()
+        self._events_processed += 1
+        return True
+
+    def iter_steps(self) -> Iterator[float]:
+        """Yield the simulation time after each event; stops when quiescent."""
+        while self.step():
+            yield self._now
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _drop_cancelled(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)

@@ -1,0 +1,124 @@
+"""Tests for closed forms, growth rates, sweeps and tree statistics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from conftest import graph_adjacency
+from repro.analysis import (
+    binomial_size,
+    broadcast_system_calls,
+    broadcast_time_bound,
+    election_message_bound,
+    fibonacci_closed_form,
+    flooding_system_calls_bounds,
+    graph_tree_stats,
+    growth_rate,
+    oneway_lower_bound_rounds,
+    optimal_time_estimate,
+    size_growth,
+    tradeoff_sweep,
+    tree_stats,
+)
+from repro.core import fibonacci_number
+from repro.network import bfs_tree, topologies
+
+
+def test_broadcast_bounds():
+    assert broadcast_time_bound(1) == 1
+    assert broadcast_time_bound(8) == 4
+    assert broadcast_time_bound(9) == 4
+    assert broadcast_system_calls(17) == 17
+
+
+def test_flooding_bounds():
+    assert flooding_system_calls_bounds(10) == (10, 20)
+
+
+def test_election_bound():
+    assert election_message_bound(50) == 300
+
+
+def test_oneway_lower_bound_matches_core():
+    from repro.core import theorem3_lower_bound
+
+    for depth in range(0, 40):
+        assert oneway_lower_bound_rounds(depth) == theorem3_lower_bound(depth)
+
+
+def test_binomial_size():
+    assert [binomial_size(k) for k in range(1, 6)] == [1, 2, 4, 8, 16]
+
+
+def test_fibonacci_closed_form_matches_recursion():
+    for k in range(1, 40):
+        assert fibonacci_closed_form(k) == fibonacci_number(k)
+
+
+def test_growth_rate_anchors():
+    assert growth_rate(1, 0) == pytest.approx(2.0, abs=1e-9)
+    golden = (1 + math.sqrt(5)) / 2
+    assert growth_rate(1, 1) == pytest.approx(golden, abs=1e-9)
+
+
+def test_growth_rate_decreases_with_C():
+    rates = [growth_rate(1, C) for C in (0, 1, 2, 4, 8)]
+    assert rates == sorted(rates, reverse=True)
+    assert all(r > 1.0 for r in rates)
+
+
+def test_growth_rate_rejects_P0():
+    with pytest.raises(ValueError):
+        growth_rate(0, 1)
+
+
+def test_optimal_time_estimate_tracks_exact():
+    from repro.core import OptTreeBuilder
+
+    for P, C in [(1, 0), (1, 1), (1, 2)]:
+        builder = OptTreeBuilder(P, C)
+        for n in (16, 64, 256):
+            estimate = optimal_time_estimate(n, P, C)
+            exact = float(builder.optimal_time(n))
+            assert abs(exact - estimate) <= 0.5 * exact + 3  # same order
+
+
+def test_size_growth_tables():
+    rows = size_growth(1, 0, 8)
+    assert [r.size for r in rows] == [1, 2, 4, 8, 16, 32, 64, 128]
+    rows = size_growth(1, 1, 8)
+    assert [r.size for r in rows] == [1, 1, 2, 3, 5, 8, 13, 21]
+
+
+def test_tradeoff_sweep_shape_shift():
+    rows = tradeoff_sweep(32, ratios=[0, 1, 4, 16, 64])
+    # Optimal is never worse than any baseline.
+    for row in rows:
+        assert row.optimal_time <= min(row.star_time, row.path_time, row.binary_time)
+    # Root degree grows (tree flattens) as C/P grows.
+    degrees = [row.root_degree for row in rows]
+    assert degrees[0] < degrees[-1]
+    # The star closes the gap as hardware dominates.
+    first_gap = float(rows[0].star_time / rows[0].optimal_time)
+    last_gap = float(rows[-1].star_time / rows[-1].optimal_time)
+    assert last_gap < first_gap
+
+
+def test_tree_stats_on_binary_tree():
+    tree = bfs_tree(graph_adjacency(topologies.complete_binary_tree(4)), 0)
+    stats = tree_stats(tree)
+    assert stats.n == 31
+    assert stats.depth == 4
+    assert stats.root_label == 4
+    assert stats.chain_depth == 4
+    assert stats.path_count == 30  # every path is a single edge
+    assert stats.lemma1_holds and stats.chain_property_holds
+
+
+def test_graph_tree_stats():
+    stats = graph_tree_stats(graph_adjacency(topologies.line(9)), 0)
+    assert stats.path_count == 1
+    assert stats.max_path_hops == 8
+    assert stats.root_label == 0

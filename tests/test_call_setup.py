@@ -1,0 +1,107 @@
+"""Tests for call setup/teardown over selective copies (the §2 use case)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import limiting_net
+from repro.core.call_setup import CallManager, run_call
+from repro.network import Network, topologies
+from repro.sim import FixedDelays, ProtocolError
+
+
+def test_setup_installs_state_along_route():
+    net = limiting_net(topologies.line(5))
+    trace = run_call(net, route=[0, 1, 2, 3, 4])
+    assert trace.established
+    for node_id in range(5):
+        assert 1 in net.node(node_id).protocol.calls
+    # Direction-aware state.
+    mid = net.node(2).protocol.calls[1]
+    assert mid.previous_hop == 1 and mid.next_hop == 3
+    ends = net.node(4).protocol.calls[1]
+    assert ends.previous_hop == 3 and ends.next_hop is None
+
+
+def test_setup_cost_is_one_copy_per_node_plus_connect():
+    net = limiting_net(topologies.line(6))
+    trace = run_call(net, route=[0, 1, 2, 3, 4, 5], payloads=[])
+    calls = trace.setup_metrics.system_calls
+    start = trace.setup_metrics.system_calls_by_kind.get("start", 0)
+    # 5 copies (nodes 1..5) + the CONNECT receipt at the originator.
+    assert calls - start == 6
+
+
+def test_data_packets_cost_zero_intermediate_system_calls():
+    net = limiting_net(topologies.line(6))
+    trace = run_call(net, route=[0, 1, 2, 3, 4, 5], payloads=["a", "b", "c"])
+    assert trace.established
+    by_kind = trace.data_metrics.system_calls_by_kind
+    # Per data packet: one START at the originator, one receipt at the
+    # destination — intermediates stay silent.
+    assert by_kind.get("call_data", 0) == 3
+    assert trace.data_metrics.system_calls == 6
+    assert net.output(5, "data:1") == "c"
+
+
+def test_teardown_clears_state_everywhere():
+    net = limiting_net(topologies.line(4))
+    run_call(net, route=[0, 1, 2, 3], payloads=[])
+    net.start([0], payload=("teardown", 1))
+    net.run_to_quiescence()
+    for node_id in range(4):
+        assert 1 not in net.node(node_id).protocol.calls
+
+
+def test_data_on_unestablished_call_rejected():
+    net = limiting_net(topologies.line(3))
+    net.attach(lambda api: CallManager(api, ids=net.id_lookup))
+    net.start([0], payload=("send", 9, "early"))
+    with pytest.raises(ProtocolError, match="not established"):
+        net.run_to_quiescence()
+
+
+def test_setup_dies_at_failed_link_leaves_partial_state():
+    net = limiting_net(topologies.line(5))
+    net.fail_link(2, 3)
+    net.run_to_quiescence()
+    trace = run_call(net, route=[0, 1, 2, 3, 4], payloads=[])
+    assert not trace.established
+    # Nodes before the failure installed state; nodes after did not.
+    assert 1 in net.node(1).protocol.calls
+    assert 1 in net.node(2).protocol.calls
+    assert 1 not in net.node(3).protocol.calls
+    assert 1 not in net.node(4).protocol.calls
+    # The originator can clean up with a teardown once the link heals.
+    net.restore_link(2, 3)
+    net.run_to_quiescence()
+    net.start([0], payload=("teardown", 1))
+    net.run_to_quiescence()
+    assert all(1 not in net.node(v).protocol.calls for v in range(5))
+
+
+def test_multiple_concurrent_calls():
+    net = limiting_net(topologies.grid(3, 3))
+    net.attach(lambda api: CallManager(api, ids=net.id_lookup))
+    net.start([0], payload=("setup", 1, (0, 1, 2, 5, 8)))
+    net.start([6], payload=("setup", 2, (6, 7, 8)))
+    net.run_to_quiescence()
+    assert net.output(0, "established:1") is not None
+    assert net.output(6, "established:2") is not None
+    # Node 8 terminates both calls.
+    assert set(net.node(8).protocol.calls) == {1, 2}
+
+
+def test_calls_work_with_hardware_delays():
+    net = Network(topologies.line(4), delays=FixedDelays(2.0, 1.0))
+    trace = run_call(net, route=[0, 1, 2, 3], payloads=["x"])
+    assert trace.established
+    assert net.output(3, "data:1") == "x"
+
+
+def test_non_originator_cannot_teardown():
+    net = limiting_net(topologies.line(3))
+    run_call(net, route=[0, 1, 2], payloads=[])
+    net.start([1], payload=("teardown", 1))
+    with pytest.raises(ProtocolError, match="not the originator"):
+        net.run_to_quiescence()

@@ -1,0 +1,143 @@
+"""Tests for the DFS and layered-BFS one-packet broadcasts (E11)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import graph_adjacency, limiting_net
+from repro.core import (
+    DfsBroadcast,
+    LayeredBfsBroadcast,
+    euler_tour,
+    dfs_broadcast_header,
+    layered_broadcast_header,
+    layered_tour,
+    run_standalone_broadcast,
+)
+from repro.network import Network, bfs_tree, topologies
+from repro.sim import FixedDelays, PathTooLongError
+
+
+def tree_of(g, root=0):
+    return bfs_tree(graph_adjacency(g), root)
+
+
+def test_euler_tour_visits_every_node():
+    tree = tree_of(topologies.complete_binary_tree(3))
+    tour = euler_tour(tree)
+    assert set(tour) == set(tree.parent)
+    # Trimmed: ends at the last newly discovered node (a leaf).
+    assert tour[-1] in tree.leaves()
+    # Consecutive entries are tree-adjacent.
+    for a, b in zip(tour, tour[1:]):
+        assert tree.parent.get(a) == b or tree.parent.get(b) == a
+
+
+def test_euler_tour_child_order_override():
+    tree = tree_of(topologies.star(4))
+    reversed_tour = euler_tour(tree, child_order=lambda n, cs: tuple(reversed(cs)))
+    assert reversed_tour[1] == 3  # descends into the highest child first
+
+
+def test_dfs_header_length_bound():
+    for depth in range(1, 5):
+        tree = tree_of(topologies.complete_binary_tree(depth))
+        header = dfs_broadcast_header(tree, lambda a, b: (1, 2))
+        n = len(tree)
+        assert len(header) <= 2 * (n - 1) + 1
+
+
+def test_dfs_broadcast_covers_everything_in_constant_time(small_graphs):
+    for g in small_graphs:
+        net = limiting_net(g)
+        adjacency = net.adjacency()
+        run = run_standalone_broadcast(
+            net,
+            lambda api: DfsBroadcast(api, root=0, adjacency=adjacency, ids=net.id_lookup),
+            0,
+        )
+        assert run.coverage == net.n
+        assert run.system_calls == net.n - 1
+        assert run.completion_time() <= 2.0  # constant: start + one copy slot
+
+
+def test_dfs_broadcast_dies_at_failed_link():
+    # The single packet is lost at the first failure; everything after
+    # the failure point on the tour stays uninformed.
+    net = limiting_net(topologies.line(6))
+    net.fail_link(2, 3)
+    stale = graph_adjacency(topologies.line(6))
+    net.attach(
+        lambda api: DfsBroadcast(api, root=0, adjacency=stale, ids=net.id_lookup)
+    )
+    net.run_to_quiescence()
+    net.start([0])
+    net.run_to_quiescence()
+    received = set(net.outputs_for_key("received_at"))
+    assert received == {0, 1, 2}
+
+
+def test_layered_tour_is_prefix_closed_by_depth():
+    tree = tree_of(topologies.complete_binary_tree(3))
+    tour = layered_tour(tree)
+    depth_of = {node: tree.depth_of(node) for node in tree.parent}
+    first_visit = {}
+    for index, node in enumerate(tour):
+        first_visit.setdefault(node, index)
+    # Nodes at smaller depth are always first-visited earlier.
+    for a in tree.parent:
+        for b in tree.parent:
+            if depth_of[a] < depth_of[b]:
+                assert first_visit[a] < first_visit[b]
+
+
+def test_layered_header_is_quadratic_but_covers():
+    g = topologies.line(10)
+    tree = tree_of(g)
+    header = layered_broadcast_header(tree, lambda a, b: (1, 2))
+    # Sum over layers k of ~2k hops: Θ(n²) on a path.
+    assert len(header) > 40
+
+
+def test_layered_broadcast_needs_relaxed_dmax():
+    g = topologies.line(12)
+    net = limiting_net(g)  # default dmax = 2n + 2
+    adjacency = net.adjacency()
+    net.attach(
+        lambda api: LayeredBfsBroadcast(api, root=0, adjacency=adjacency, ids=net.id_lookup)
+    )
+    net.start([0])
+    with pytest.raises(PathTooLongError):
+        net.run_to_quiescence()
+
+
+def test_layered_broadcast_covers_in_constant_time_with_big_dmax(small_graphs):
+    for g in small_graphs:
+        net = Network(g, delays=FixedDelays(0.0, 1.0), dmax=10**6)
+        adjacency = net.adjacency()
+        run = run_standalone_broadcast(
+            net,
+            lambda api: LayeredBfsBroadcast(
+                api, root=0, adjacency=adjacency, ids=net.id_lookup
+            ),
+            0,
+        )
+        assert run.coverage == net.n
+        assert run.system_calls == net.n - 1
+        assert run.completion_time() <= 2.0
+
+
+def test_layered_broadcast_prefix_coverage_under_failure():
+    # Fail a link deep on the line: all closer layers still informed —
+    # the property the DFS tour lacks.
+    net = Network(topologies.line(8), delays=FixedDelays(0.0, 1.0), dmax=10**6)
+    net.fail_link(5, 6)
+    stale = graph_adjacency(topologies.line(8))
+    net.attach(
+        lambda api: LayeredBfsBroadcast(api, root=0, adjacency=stale, ids=net.id_lookup)
+    )
+    net.run_to_quiescence()
+    net.start([0])
+    net.run_to_quiescence()
+    received = set(net.outputs_for_key("received_at"))
+    assert received == {0, 1, 2, 3, 4, 5}

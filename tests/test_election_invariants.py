@@ -1,0 +1,136 @@
+"""Step-wise global invariants of the election.
+
+These tests single-step the scheduler and, every few events, check the
+global state of the domain partition — properties the Section 4 proofs
+rely on but which no single node can observe:
+
+* active origins' IN sets are pairwise disjoint (a node belongs to at
+  most one live domain);
+* every IN set contains its origin;
+* a captured node's domain never changes again (frozen);
+* virtual parent pointers form a forest (each node captured at most
+  once, no cycles);
+* domain sizes match IN-set cardinalities and never shrink.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CandidateStatus, LeaderElection
+from repro.network import Network, topologies
+from repro.sim import FixedDelays, RandomDelays
+
+ACTIVE_ORIGIN_STATES = {
+    CandidateStatus.ON_TOUR,
+    CandidateStatus.HOME_ACTIVE,
+    CandidateStatus.INACTIVE,
+    CandidateStatus.LEADER,
+}
+
+
+def check_global_invariants(net: Network, history: dict) -> None:
+    in_sets = {}
+    for node_id, node in net.nodes.items():
+        protocol = node.protocol
+        if protocol.domain is None:
+            continue
+        status = protocol.status
+        domain = protocol.domain
+
+        # Sizes are consistent and monotone.
+        assert domain.size == len(domain.in_set)
+        assert node_id in domain.in_set
+        previous = history.get(node_id)
+        if previous is not None:
+            assert domain.size >= previous, f"domain of {node_id} shrank"
+        history[node_id] = domain.size
+
+        # Captured domains are frozen.
+        if status is CandidateStatus.CAPTURED:
+            frozen = history.setdefault(("frozen", node_id), domain.size)
+            assert domain.size == frozen, f"captured {node_id} mutated"
+            assert protocol.parent_anr is not None
+        elif status in ACTIVE_ORIGIN_STATES:
+            in_sets[node_id] = set(domain.in_set)
+
+    # Disjointness across live origins.
+    seen: dict = {}
+    for origin, members in in_sets.items():
+        for member in members:
+            assert member not in seen, (
+                f"node {member} in two live domains: {seen.get(member)} and {origin}"
+            )
+            seen[member] = origin
+
+
+@pytest.mark.parametrize(
+    "graph,delays_seed",
+    [
+        (topologies.complete(12), None),
+        (topologies.ring(16), None),
+        (topologies.grid(4, 4), None),
+        (topologies.random_connected(20, 0.2, seed=3), None),
+        (topologies.random_connected(20, 0.2, seed=4), 1),
+        (topologies.random_connected(24, 0.15, seed=5), 2),
+    ],
+    ids=["K12", "ring16", "grid16", "rand20", "rand20-async", "rand24-async"],
+)
+def test_invariants_hold_at_every_step(graph, delays_seed):
+    delays = (
+        FixedDelays(0.0, 1.0)
+        if delays_seed is None
+        else RandomDelays(hardware=0.4, software=1.0, seed=delays_seed)
+    )
+    net = Network(graph, delays=delays)
+    net.attach(lambda api: LeaderElection(api))
+    net.start()
+    history: dict = {}
+    events = 0
+    while net.scheduler.step():
+        events += 1
+        if events % 3 == 0:
+            check_global_invariants(net, history)
+        assert events < 1_000_000
+    check_global_invariants(net, history)
+
+    # Terminal state: exactly one leader owning everyone, rest captured.
+    leaders = [
+        node_id
+        for node_id, node in net.nodes.items()
+        if node.protocol.status is CandidateStatus.LEADER
+    ]
+    assert len(leaders) == 1
+    winner = net.node(leaders[0]).protocol
+    assert winner.domain.in_set == set(net.nodes)
+    for node_id, node in net.nodes.items():
+        if node_id == leaders[0]:
+            continue
+        assert node.protocol.status is CandidateStatus.CAPTURED
+
+
+def test_forest_property_of_parent_pointers():
+    # Replaying capture order: each node is captured exactly once, and
+    # parent chains (origin captured-by origin) are acyclic.
+    net = Network(topologies.random_connected(30, 0.15, seed=8),
+                  delays=FixedDelays(0.0, 1.0))
+    capture_log: list[tuple] = []
+
+    class Logged(LeaderElection):
+        def _be_captured_by(self, token):
+            capture_log.append((self.api.node_id, token.candidate))
+            super()._be_captured_by(token)
+
+    net.attach(lambda api: Logged(api))
+    net.start()
+    net.run_to_quiescence(max_events=3_000_000)
+
+    captured_nodes = [captured for captured, _ in capture_log]
+    assert len(captured_nodes) == len(set(captured_nodes)), "double capture"
+    assert len(captured_nodes) == net.n - 1
+
+    # The capture relation is a DAG ending at the winner.
+    import networkx as nx
+
+    dag = nx.DiGraph(capture_log)
+    assert nx.is_directed_acyclic_graph(dag)

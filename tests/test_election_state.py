@@ -1,0 +1,152 @@
+"""Unit tests for the election's domain bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import limiting_net
+from repro.core import DomainState, Level
+from repro.network import topologies
+from repro.sim import ProtocolError, RoutingError
+
+
+def make_domain(net, node_id):
+    return DomainState.initial(node_id, net.node(node_id).local_topology())
+
+
+def test_level_ordering():
+    assert Level(1, 0) < Level(1, 1)
+    assert Level(2, 0) > Level(1, 9)
+    assert Level(3, 5) > Level(3, 4)
+    assert not Level(1, 0) < Level(1, 0)
+
+
+def test_level_phase():
+    assert Level(1, 0).phase == 0
+    assert Level(2, 0).phase == 1
+    assert Level(3, 0).phase == 1
+    assert Level(8, 0).phase == 3
+
+
+def test_initial_domain():
+    net = limiting_net(topologies.star(4))
+    domain = make_domain(net, 0)
+    assert domain.in_set == {0}
+    assert domain.out_set == {1, 2, 3}
+    assert domain.size == 1
+    assert domain.level == Level(1, 0)
+    assert domain.phase == 0
+
+
+def test_initial_domain_skips_inactive_links():
+    net = limiting_net(topologies.star(4))
+    net.fail_link(0, 2)
+    domain = make_domain(net, 0)
+    assert domain.out_set == {1, 3}
+
+
+def test_pick_tour_target_deterministic():
+    net = limiting_net(topologies.star(4))
+    domain = make_domain(net, 0)
+    assert domain.pick_tour_target() == 1
+
+
+def test_pick_tour_target_empty_raises():
+    net = limiting_net(topologies.line(2))
+    domain = make_domain(net, 0)
+    domain.out_info.clear()
+    with pytest.raises(ProtocolError):
+        domain.pick_tour_target()
+
+
+def test_anr_to_out_node_single_hop():
+    net = limiting_net(topologies.line(3))
+    domain = make_domain(net, 0)
+    header = domain.anr_to_out_node(0, 1)
+    normal, _ = net.id_lookup(0, 1)
+    assert header == (normal, 0)
+
+
+def test_absorb_merges_sets_and_tree():
+    net = limiting_net(topologies.line(3))
+    d0 = make_domain(net, 0)
+    d1 = make_domain(net, 1)
+    d0.absorb(d1.snapshot(), attach_out_node=1)
+    assert d0.in_set == {0, 1}
+    assert d0.out_set == {2}
+    assert d0.size == 2
+    assert 1 in d0.inout_adj[0] and 0 in d0.inout_adj[1]
+    # Routing across the merged tree works end to end.
+    header = d0.anr_to_in_node(0, 1)
+    assert header[-1] == 0
+    header_out = d0.anr_to_out_node(0, 2)
+    assert len(header_out) == 3  # two hops + delivery
+
+
+def test_absorb_requires_valid_attachment():
+    net = limiting_net(topologies.line(3))
+    d0 = make_domain(net, 0)
+    d2 = make_domain(net, 2)
+    with pytest.raises(ProtocolError):
+        d0.absorb(d2.snapshot(), attach_out_node=2)  # 2 is not in 0's OUT
+
+
+def test_absorb_attach_node_must_be_in_captured_domain():
+    net = limiting_net(topologies.ring(4))
+    d0 = make_domain(net, 0)
+    d3 = make_domain(net, 3)
+    with pytest.raises(ProtocolError):
+        d0.absorb(d3.snapshot(), attach_out_node=1)  # 1 not in d3.in_set
+
+
+def test_chain_absorbs_keep_routes_linear():
+    net = limiting_net(topologies.line(6))
+    domains = {i: make_domain(net, i) for i in range(6)}
+    d = domains[0]
+    for i in range(1, 6):
+        d.absorb(domains[i].snapshot(), attach_out_node=i)
+    assert d.in_set == set(range(6))
+    assert d.out_set == set()
+    assert d.size == 6
+    route = d.tree_path(0, 5)
+    assert route == (0, 1, 2, 3, 4, 5)
+    assert len(d.anr_to_in_node(0, 5)) == 6  # 5 hops + delivery <= n
+
+
+def test_tree_path_errors():
+    net = limiting_net(topologies.line(3))
+    domain = make_domain(net, 0)
+    with pytest.raises(RoutingError):
+        domain.tree_path(0, 2)  # 2 is not in the domain
+
+
+def test_ids_to_node_covers_in_and_out():
+    net = limiting_net(topologies.line(4))
+    d0 = make_domain(net, 0)
+    d1 = make_domain(net, 1)
+    d0.absorb(d1.snapshot(), attach_out_node=1)
+    # IN target: raw ids, no delivery marker.
+    assert len(d0.ids_to_node(0, 1)) == 1
+    # OUT target: path to the attached IN node plus the final hop.
+    assert len(d0.ids_to_node(0, 2)) == 2
+    assert 0 not in d0.ids_to_node(0, 2)
+
+
+def test_snapshot_is_independent():
+    net = limiting_net(topologies.line(3))
+    d0 = make_domain(net, 0)
+    snap = d0.snapshot()
+    d1 = make_domain(net, 1)
+    d0.absorb(d1.snapshot(), attach_out_node=1)
+    assert snap.in_set == {0}
+    assert snap.size == 1
+    assert 1 not in snap.inout_adj.get(0, set())
+
+
+def test_id_lookup_matches_network():
+    net = limiting_net(topologies.line(3))
+    d0 = make_domain(net, 0)
+    d1 = make_domain(net, 1)
+    d0.absorb(d1.snapshot(), attach_out_node=1)
+    assert d0.id_lookup(0, 1) == tuple(net.node(0).link_to(1).ids_at(0))
+    assert d0.id_lookup(1, 0) == tuple(net.node(1).link_to(0).ids_at(1))

@@ -1,0 +1,38 @@
+"""Tests for the CSV/JSON experiment exporters."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.analysis.export import load_json_rows, rows_to_csv, rows_to_json, slugify
+
+
+def test_slugify():
+    assert slugify("E1/E2 — broadcast (paper: n calls)") == "e1_e2_broadcast_paper_n_calls"
+    assert slugify("!!!") == "table"
+    assert len(slugify("x" * 200)) <= 64
+
+
+def test_rows_to_csv_roundtrip(tmp_path):
+    path = rows_to_csv(tmp_path / "sub" / "t.csv", ["a", "b"], [[1, 2], [3, 4]])
+    with path.open() as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+
+def test_rows_to_json_roundtrip(tmp_path):
+    path = rows_to_json(
+        tmp_path / "t.json",
+        ["n", "calls"],
+        [[8, 34], [16, 70]],
+        metadata={"experiment": "E5"},
+    )
+    records = load_json_rows(path)
+    assert records == [{"n": 8, "calls": 34}, {"n": 16, "calls": 70}]
+
+
+def test_rows_to_json_serializes_exotic_values(tmp_path):
+    from fractions import Fraction
+
+    path = rows_to_json(tmp_path / "f.json", ["t"], [[Fraction(3, 2)]])
+    assert load_json_rows(path) == [{"t": "3/2"}]

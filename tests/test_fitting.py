@@ -1,0 +1,85 @@
+"""Tests for the scaling-law fitting helpers."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import best_model, fit_constant, loglog_slope
+
+
+def test_loglog_slope_recovers_exponent():
+    ns = [10, 20, 40, 80, 160]
+    for k in (0.5, 1.0, 2.0, 3.0):
+        ys = [3.7 * n**k for n in ns]
+        assert loglog_slope(ns, ys) == pytest.approx(k, abs=1e-9)
+
+
+def test_loglog_slope_validates_input():
+    with pytest.raises(ValueError):
+        loglog_slope([1], [1])
+    with pytest.raises(ValueError):
+        loglog_slope([2, 2], [1, 2])
+    with pytest.raises(ValueError):
+        loglog_slope([1, 2], [1])
+
+
+def test_fit_constant_exact():
+    ns = [4, 8, 16]
+    ys = [2.5 * n * math.log(n) for n in ns]
+    c = fit_constant(ns, ys, lambda n: n * math.log(n))
+    assert c == pytest.approx(2.5)
+
+
+def test_fit_constant_zero_model_rejected():
+    with pytest.raises(ValueError):
+        fit_constant([1, 2], [1, 2], lambda n: 0.0)
+
+
+def test_best_model_identifies_nlogn():
+    ns = [8, 16, 32, 64, 128, 256]
+    ys = [1.4 * n * math.log(n) for n in ns]
+    fits = best_model(ns, ys)
+    assert fits[0].name == "n log n"
+    assert fits[0].constant == pytest.approx(1.4)
+    assert fits[0].relative_rmse < 1e-9
+
+
+def test_best_model_identifies_linear_with_noise():
+    import random
+
+    rng = random.Random(0)
+    ns = [16, 32, 64, 128, 256, 512]
+    ys = [6.0 * n * (1 + 0.05 * (rng.random() - 0.5)) for n in ns]
+    fits = best_model(ns, ys)
+    assert fits[0].name == "n"
+
+
+def test_best_model_identifies_quadratic():
+    ns = [8, 16, 32, 64]
+    ys = [0.5 * n * n for n in ns]
+    assert best_model(ns, ys)[0].name == "n^2"
+
+
+def test_best_model_identifies_log():
+    ns = [8, 64, 512, 4096]
+    ys = [2.0 * math.log(n) for n in ns]
+    assert best_model(ns, ys)[0].name == "log n"
+
+
+@given(
+    st.sampled_from(["n", "n log n", "n^2", "log n"]),
+    st.floats(min_value=0.1, max_value=50.0),
+)
+def test_best_model_roundtrip_property(name, constant):
+    from repro.analysis.fitting import GROWTH_MODELS
+
+    ns = [8, 16, 32, 64, 128, 256, 512]
+    model = GROWTH_MODELS[name]
+    ys = [constant * model(n) for n in ns]
+    fits = best_model(ns, ys)
+    assert fits[0].name == name
+    assert fits[0].constant == pytest.approx(constant, rel=1e-6)

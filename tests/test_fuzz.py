@@ -1,0 +1,124 @@
+"""Randomized scenario fuzzing: the control plane under churn.
+
+Long mixed scenarios — failures, repairs, convergence rounds, elections
+— on random topologies with random timing, asserting the global
+invariants after every phase.  The scenarios are seeded and thus fully
+reproducible; a failure prints its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core import (
+    LeaderElection,
+    attach_topology_maintenance,
+    converge_by_rounds,
+    is_converged,
+)
+from repro.network import Network, topologies
+from repro.sim import FixedDelays, RandomDelays
+
+
+def random_scenario_graph(rng: random.Random) -> nx.Graph:
+    kind = rng.choice(["gnp", "geo", "grid", "ring"])
+    if kind == "gnp":
+        return topologies.random_connected(rng.randint(10, 40), 0.2, seed=rng.randint(0, 10**6))
+    if kind == "geo":
+        return topologies.random_geometric_connected(
+            rng.randint(10, 30), 0.35, seed=rng.randint(0, 10**6)
+        )
+    if kind == "grid":
+        return topologies.grid(rng.randint(2, 6), rng.randint(2, 6))
+    return topologies.ring(rng.randint(3, 30))
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_topology_maintenance_under_churn(seed):
+    rng = random.Random(seed)
+    g = random_scenario_graph(rng)
+    delays = (
+        FixedDelays(0.0, 1.0)
+        if rng.random() < 0.5
+        else RandomDelays(hardware=0.3, software=1.0, seed=seed)
+    )
+    net = Network(g, delays=delays)
+    attach_topology_maintenance(net, strategy="bpaths", scope="full")
+    result = converge_by_rounds(net, max_rounds=40)
+    assert result.converged
+
+    # Churn: a random interleaving of failures and repairs, then
+    # convergence must hold again (Theorem 1: changes stopped).
+    failed: list[tuple] = []
+    for _ in range(rng.randint(1, 6)):
+        if failed and rng.random() < 0.4:
+            edge = failed.pop(rng.randrange(len(failed)))
+            net.restore_link(*edge)
+        else:
+            candidates = [k for k, link in net.links.items() if link.active]
+            if not candidates:
+                continue
+            edge = candidates[rng.randrange(len(candidates))]
+            net.fail_link(*edge)
+            failed.append(edge)
+        net.run_to_quiescence()
+        if rng.random() < 0.5:
+            # Interleave a broadcast round mid-churn; must never crash.
+            net.start(at=net.scheduler.now)
+            net.run_to_quiescence()
+
+    result = converge_by_rounds(net, max_rounds=40)
+    assert result.converged, f"seed={seed} failed to reconverge"
+    assert is_converged(net)
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_election_with_random_starters_and_timing(seed):
+    rng = random.Random(seed + 1000)
+    g = random_scenario_graph(rng)
+    net = Network(
+        g, delays=RandomDelays(hardware=rng.random(), software=1.0, seed=seed)
+    )
+    net.attach(lambda api: LeaderElection(api))
+    nodes = sorted(net.nodes)
+    starters = [v for v in nodes if rng.random() < rng.random()] or [rng.choice(nodes)]
+    # Stagger the starts.
+    for node in starters:
+        net.start([node], at=rng.random() * 10)
+    net.run_to_quiescence(max_events=5_000_000)
+    flags = net.outputs_for_key("is_leader")
+    winners = [v for v, f in flags.items() if f]
+    assert len(winners) == 1, f"seed={seed} winners={winners}"
+    assert set(net.outputs_for_key("leader")) == set(nodes), f"seed={seed}"
+    snap = net.metrics.snapshot()
+    tours = snap.system_calls_by_kind.get("tour", 0)
+    returns = snap.system_calls_by_kind.get("return", 0)
+    assert tours + returns <= 6 * net.n, f"seed={seed}"
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_election_then_churned_maintenance(seed):
+    # The full lifecycle on one network object: elect, then switch the
+    # nodes over to topology maintenance, fail links, reconverge.
+    rng = random.Random(seed + 500)
+    g = random_scenario_graph(rng)
+    net = Network(g, delays=FixedDelays(0.0, 1.0))
+    net.attach(lambda api: LeaderElection(api))
+    net.start()
+    net.run_to_quiescence(max_events=5_000_000)
+    winners = [v for v, f in net.outputs_for_key("is_leader").items() if f]
+    assert len(winners) == 1
+
+    attach_topology_maintenance(net, strategy="bpaths", scope="full")
+    assert converge_by_rounds(net, max_rounds=40).converged
+    candidates = list(net.links)
+    edge = candidates[rng.randrange(len(candidates))]
+    working = nx.Graph(net.graph)
+    working.remove_edge(*edge)
+    if nx.is_connected(working):
+        net.fail_link(*edge)
+        net.run_to_quiescence()
+        assert converge_by_rounds(net, max_rounds=40).converged

@@ -1,0 +1,107 @@
+"""Unit and property tests for link-ID spaces and bit encodings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hardware import (
+    NCU_ID,
+    LinkIdSpace,
+    copy_flag,
+    header_from_bits,
+    header_to_bits,
+    id_bits,
+)
+
+
+def test_ncu_id_is_zero():
+    assert NCU_ID == 0
+
+
+@pytest.mark.parametrize(
+    "capacity,flag", [(1, 2), (2, 4), (3, 4), (4, 8), (7, 8), (8, 16), (100, 128)]
+)
+def test_copy_flag_smallest_power_above(capacity, flag):
+    assert copy_flag(capacity) == flag
+
+
+def test_copy_flag_rejects_zero():
+    with pytest.raises(ValueError):
+        copy_flag(0)
+
+
+def test_id_space_normal_and_copy_distinct():
+    space = LinkIdSpace(capacity=5)
+    normals = {space.normal_id(i) for i in range(5)}
+    copies = {space.copy_id(i) for i in range(5)}
+    assert normals == {1, 2, 3, 4, 5}
+    assert not normals & copies
+    assert NCU_ID not in normals | copies
+
+
+def test_id_space_copy_differs_only_in_msb():
+    space = LinkIdSpace(capacity=6)
+    for i in range(6):
+        assert space.copy_id(i) == space.normal_id(i) | space.flag
+        assert space.to_normal(space.copy_id(i)) == space.normal_id(i)
+
+
+def test_id_space_is_copy_predicate():
+    space = LinkIdSpace(capacity=4)
+    assert space.is_copy(space.copy_id(2))
+    assert not space.is_copy(space.normal_id(2))
+    assert not space.is_copy(NCU_ID)
+
+
+def test_id_space_index_bounds():
+    space = LinkIdSpace(capacity=3)
+    with pytest.raises(ValueError):
+        space.normal_id(3)
+    with pytest.raises(ValueError):
+        space.normal_id(-1)
+
+
+def test_ncu_has_no_copy_id():
+    space = LinkIdSpace(capacity=3)
+    with pytest.raises(ValueError):
+        space.to_copy(NCU_ID)
+
+
+def test_k_is_logarithmic():
+    # k = O(log m): the paper's requirement on ID width.
+    assert id_bits(1) == 2
+    assert id_bits(1000) <= 2 * (1000).bit_length()
+    for capacity in (1, 3, 17, 200):
+        space = LinkIdSpace(capacity=capacity)
+        top = space.copy_id(capacity - 1)
+        assert top.bit_length() <= space.k
+
+
+@given(st.integers(min_value=1, max_value=64), st.data())
+def test_header_bits_roundtrip(capacity, data):
+    space = LinkIdSpace(capacity=capacity)
+    ids = data.draw(
+        st.lists(
+            st.sampled_from(
+                [NCU_ID]
+                + [space.normal_id(i) for i in range(capacity)]
+                + [space.copy_id(i) for i in range(capacity)]
+            ),
+            max_size=20,
+        )
+    )
+    bits = header_to_bits(tuple(ids), space.k)
+    assert len(bits) == space.k * len(ids)
+    assert header_from_bits(bits, space.k) == tuple(ids)
+
+
+def test_header_to_bits_rejects_oversized_id():
+    with pytest.raises(ValueError):
+        header_to_bits((1 << 10,), 4)
+
+
+def test_header_from_bits_rejects_ragged_input():
+    with pytest.raises(ValueError):
+        header_from_bits("10101", 2)

@@ -1,0 +1,56 @@
+"""Unit tests for NCU job accounting labels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import Job, JobKind, Packet
+
+
+@dataclass(frozen=True)
+class Tagged:
+    kind: str = "my_tag"
+
+
+def packet_with(payload):
+    return Packet(seq=1, origin=0, header=(0,), payload=payload)
+
+
+def test_packet_jobs_use_payload_kind():
+    job = Job(kind=JobKind.PACKET, payload=packet_with(Tagged()))
+    assert job.accounting_kind == "my_tag"
+
+
+def test_packet_jobs_fall_back_to_generic_kind():
+    job = Job(kind=JobKind.PACKET, payload=packet_with({"no": "kind"}))
+    assert job.accounting_kind == "packet"
+
+
+def test_timer_jobs_embed_their_tag():
+    job = Job(kind=JobKind.TIMER, tag="heartbeat")
+    assert job.accounting_kind == "timer:heartbeat"
+    assert Job(kind=JobKind.TIMER).accounting_kind == "timer"
+
+
+def test_start_and_link_event_kinds():
+    assert Job(kind=JobKind.START).accounting_kind == "start"
+    assert Job(kind=JobKind.LINK_EVENT).accounting_kind == "link_event"
+
+
+def test_metric_kind_separation_end_to_end():
+    from conftest import limiting_net
+    from repro.network import Protocol, topologies
+
+    net = limiting_net(topologies.line(2))
+
+    class Sender(Protocol):
+        def on_start(self, payload):
+            info = self.api.active_links()[0]
+            self.api.send((info.normal_at_u, 0), Tagged())
+
+    net.attach(lambda api: Sender(api))
+    net.start([0])
+    net.run_to_quiescence()
+    assert net.metrics.system_calls_of_kind("start") == 1
+    assert net.metrics.system_calls_of_kind("my_tag") == 1
+    assert net.metrics.system_calls == 2

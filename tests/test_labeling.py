@@ -1,0 +1,95 @@
+"""Unit and property tests for the Section 3.1 tree labelling."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import graph_adjacency, random_tree
+from repro.core import (
+    check_label_growth,
+    check_lemma1,
+    label_tree,
+    label_upper_bound,
+    max_label,
+)
+from repro.network import bfs_tree, topologies, tree_from_parent
+
+
+def test_single_node_label():
+    tree = tree_from_parent(0, {0: None})
+    assert label_tree(tree) == {0: 0}
+
+
+def test_path_labels_are_all_zero():
+    # A path has no branching: every node has at most one child, so no
+    # ties ever occur and every label stays 0.
+    adjacency = graph_adjacency(topologies.line(8))
+    tree = bfs_tree(adjacency, 0)
+    labels = label_tree(tree)
+    assert set(labels.values()) == {0}
+
+
+def test_star_label():
+    # The hub has many children all labelled 0 -> tie -> hub label 1.
+    adjacency = graph_adjacency(topologies.star(6))
+    tree = bfs_tree(adjacency, 0)
+    labels = label_tree(tree)
+    assert labels[0] == 1
+    assert all(labels[leaf] == 0 for leaf in range(1, 6))
+
+
+def test_complete_binary_tree_labels_equal_height():
+    # Every internal node has two equal children: label = height.
+    for depth in range(5):
+        adjacency = graph_adjacency(topologies.complete_binary_tree(depth))
+        tree = bfs_tree(adjacency, 0)
+        labels = label_tree(tree)
+        assert labels[0] == depth
+        assert max_label(labels) == depth
+
+
+def test_caterpillar_labels_stay_low():
+    # A caterpillar is path-like: the spine label never exceeds 1.
+    g = topologies.caterpillar(10, 1)
+    tree = bfs_tree(graph_adjacency(g), 0)
+    labels = label_tree(tree)
+    assert max_label(labels) <= 1
+
+
+def test_unbalanced_tie_example():
+    #      0
+    #     / \
+    #    1   2
+    #   /
+    #  3
+    # Children of 0 have labels 0 (node 1 with one child keeps 0) and 0
+    # (leaf 2): a tie, so the root is labelled 1.
+    tree = tree_from_parent(0, {0: None, 1: 0, 2: 0, 3: 1})
+    labels = label_tree(tree)
+    assert labels == {0: 1, 1: 0, 2: 0, 3: 0}
+
+
+def test_label_upper_bound_values():
+    assert label_upper_bound(1) == 0
+    assert label_upper_bound(2) == 1
+    assert label_upper_bound(3) == 1
+    assert label_upper_bound(4) == 2
+    assert label_upper_bound(1023) == 9
+    assert label_upper_bound(1024) == 10
+
+
+@given(st.integers(min_value=1, max_value=80), st.integers(min_value=0, max_value=10**6))
+def test_labels_satisfy_paper_invariants(n, seed):
+    tree = random_tree(n, seed)
+    labels = label_tree(tree)
+    # Lemma 1: at most one child shares a node's label.
+    assert check_lemma1(tree, labels)
+    # Theorem 2's counting: 2^label nodes below each node.
+    assert check_label_growth(tree, labels)
+    # Hence the root's label is at most log2 n.
+    assert max_label(labels) <= label_upper_bound(n)
+    # Labels never decrease toward the root.
+    for node, parent in tree.parent.items():
+        if parent is not None:
+            assert labels[parent] >= labels[node]

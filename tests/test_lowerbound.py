@@ -1,0 +1,138 @@
+"""Tests for the Theorem 3 one-way broadcast lower bound machinery (E3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import graph_adjacency, random_tree
+from repro.core import (
+    OneWayPath,
+    coverage_rounds,
+    exhaustive_min_rounds,
+    greedy_schedule,
+    theorem3_lower_bound,
+    validate_schedule,
+    witness_uninformed_sets,
+)
+from repro.network import bfs_tree, topologies
+from repro.sim import ProtocolError
+
+
+def cbt(depth):
+    return bfs_tree(graph_adjacency(topologies.complete_binary_tree(depth)), 0)
+
+
+def test_validate_accepts_legal_schedule():
+    tree = cbt(2)
+    schedule = [
+        [OneWayPath((0, 1, 3)), OneWayPath((0, 2))],
+        [OneWayPath((1, 4)), OneWayPath((2, 5)), OneWayPath((2, 6))],
+    ]
+    history = validate_schedule(tree, schedule)
+    assert history[0] == {0}
+    assert history[1] == {0, 1, 2, 3}
+    assert history[2] == set(range(7))
+    assert coverage_rounds(tree, schedule) == 2
+
+
+def test_validate_rejects_uninformed_launcher():
+    tree = cbt(2)
+    with pytest.raises(ProtocolError, match="uninformed"):
+        validate_schedule(tree, [[OneWayPath((1, 3))]])
+
+
+def test_validate_rejects_upward_hop():
+    tree = cbt(2)
+    with pytest.raises(ProtocolError, match="one-way"):
+        validate_schedule(tree, [[OneWayPath((0, 1))], [OneWayPath((1, 0))]])
+
+
+def test_validate_rejects_non_edge():
+    tree = cbt(2)
+    with pytest.raises(ProtocolError, match="one-way"):
+        validate_schedule(tree, [[OneWayPath((0, 5))]])
+
+
+def test_validate_rejects_double_use_of_child_link():
+    tree = cbt(2)
+    with pytest.raises(ProtocolError, match="two paths"):
+        validate_schedule(
+            tree, [[OneWayPath((0, 1, 3)), OneWayPath((0, 1, 4))]]
+        )
+
+
+def test_same_child_link_ok_in_later_round():
+    tree = cbt(2)
+    schedule = [
+        [OneWayPath((0, 1, 3)), OneWayPath((0, 2, 5))],
+        [OneWayPath((0, 1, 4)), OneWayPath((0, 2, 6))],
+    ]
+    assert coverage_rounds(tree, schedule) == 2
+
+
+def test_uncovered_schedule_returns_none():
+    tree = cbt(2)
+    assert coverage_rounds(tree, [[OneWayPath((0, 1))]]) is None
+
+
+@pytest.mark.parametrize("depth", range(1, 9))
+def test_greedy_schedule_covers_binary_tree(depth):
+    tree = cbt(depth)
+    schedule = greedy_schedule(tree)
+    rounds = coverage_rounds(tree, schedule)
+    assert rounds is not None
+    # Bracketing: lower bound <= optimum <= greedy <= depth (per-edge relay).
+    assert theorem3_lower_bound(depth) <= rounds <= max(depth, 1)
+
+
+def test_greedy_schedule_on_random_trees():
+    for seed in range(5):
+        tree = random_tree(40, seed)
+        schedule = greedy_schedule(tree)
+        assert coverage_rounds(tree, schedule) is not None
+
+
+def test_theorem3_bound_values():
+    assert theorem3_lower_bound(0) == 0
+    assert theorem3_lower_bound(1) == 1
+    assert theorem3_lower_bound(10) == 1
+    assert theorem3_lower_bound(11) == 2
+    assert theorem3_lower_bound(25) == 4
+    # Ω(log n): grows linearly in depth = log2 n.
+    assert theorem3_lower_bound(100) == 19
+
+
+def test_exhaustive_matches_known_small_optima():
+    # depth 1: one round (two single-edge paths).
+    assert exhaustive_min_rounds(cbt(1)) == 1
+    # depth 2: two rounds (the root cannot reach all 4 leaves in one).
+    assert exhaustive_min_rounds(cbt(2)) == 2
+    # depth 3: chains let the optimum beat the per-edge relay (3).
+    assert exhaustive_min_rounds(cbt(3)) == 2
+
+
+def test_exhaustive_is_lower_bound_for_greedy():
+    for depth in (1, 2, 3):
+        tree = cbt(depth)
+        assert exhaustive_min_rounds(tree) <= coverage_rounds(tree, greedy_schedule(tree))
+
+
+def test_exhaustive_single_node():
+    tree = bfs_tree({0: ()}, 0)
+    assert exhaustive_min_rounds(tree) == 0
+
+
+def test_witness_sets_exist_against_greedy():
+    tree = cbt(11)  # deep enough for two witness levels (5 and 10)
+    schedule = greedy_schedule(tree)
+    witnesses = witness_uninformed_sets(tree, schedule)
+    assert len(witnesses) >= 2
+    for t, witness in enumerate(witnesses, start=1):
+        assert len(witness) == 2**t
+        assert all(tree.depth_of(node) == 5 * t for node in witness)
+    # V_{t+1} descends from V_t.
+    for earlier, later in zip(witnesses, witnesses[1:]):
+        descendants = set()
+        for node in earlier:
+            descendants.update(tree.subtree_nodes(node))
+        assert later <= descendants

@@ -1,0 +1,125 @@
+"""Unit tests for complexity accounting and reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metrics import (
+    MetricsCollector,
+    format_ratio,
+    format_table,
+    hop_complexity,
+    max_system_calls_per_node,
+    message_complexity,
+    system_call_complexity,
+    time_units,
+)
+
+
+def test_counters_accumulate():
+    m = MetricsCollector()
+    m.count_system_call("a", "packet")
+    m.count_system_call("a", "start")
+    m.count_system_call("b", "packet")
+    m.count_hop((0, 1))
+    m.count_hop((0, 1))
+    m.count_injection("a")
+    m.count_copy("b")
+    m.count_drop("inactive_link")
+    assert m.system_calls == 3
+    assert m.system_calls_at("a") == 2
+    assert m.system_calls_of_kind("packet") == 2
+    assert m.hops == 2
+    assert m.packets_injected == 1
+    assert m.copies == 1
+    assert m.drops == 1
+
+
+def test_snapshot_is_immutable_copy():
+    m = MetricsCollector()
+    m.count_system_call("a", "packet")
+    snap = m.snapshot()
+    m.count_system_call("a", "packet")
+    assert snap.system_calls == 1
+    assert m.system_calls == 2
+
+
+def test_since_computes_delta():
+    m = MetricsCollector()
+    m.count_system_call("a", "packet")
+    m.count_hop((0, 1))
+    before = m.snapshot()
+    m.count_system_call("b", "tour")
+    m.count_hop((1, 2))
+    m.count_hop((1, 2))
+    delta = m.since(before)
+    assert delta.system_calls == 1
+    assert delta.hops == 2
+    assert delta.system_calls_per_node == {"b": 1}
+    assert delta.system_calls_by_kind == {"tour": 1}
+    assert delta.hops_per_link == {(1, 2): 2}
+
+
+def test_measures():
+    m = MetricsCollector()
+    for _ in range(5):
+        m.count_system_call("a", "packet")
+    m.count_system_call("a", "start")
+    m.count_hop((0, 1))
+    m.count_injection("a")
+    snap = m.snapshot()
+    assert system_call_complexity(snap) == 6
+    assert system_call_complexity(snap, exclude_kinds=["start"]) == 5
+    assert hop_complexity(snap) == 1
+    assert message_complexity(snap) == 1
+    assert max_system_calls_per_node(snap) == 6
+
+
+def test_time_units():
+    assert time_units(10.0, 2.0) == 5.0
+    with pytest.raises(ValueError):
+        time_units(10.0, 0.0)
+
+
+def test_format_table_alignment():
+    table = format_table(
+        ["name", "value"],
+        [["alpha", 1], ["b", 123.4567]],
+        title="demo",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "demo"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "123.457" in lines[-1]  # default 3-decimal float format
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # every row the same width
+
+
+def test_format_ratio():
+    assert format_ratio(6.0, 2.0) == "3.00x"
+    assert format_ratio(1.0, 0.0) == "inf"
+    assert format_ratio(0.0, 0.0) == "0.0x"
+
+
+def test_header_ids_accounting():
+    m = MetricsCollector()
+    m.count_injection("a", header_len=5)
+    m.count_injection("a", header_len=3)
+    snap = m.snapshot()
+    assert snap.header_ids == 8
+    before = snap
+    m.count_injection("b", header_len=2)
+    assert m.since(before).header_ids == 2
+
+
+def test_header_ids_end_to_end():
+    from conftest import attach_recorders, limiting_net
+    from repro.hardware import build_anr
+    from repro.network import topologies
+
+    net = limiting_net(topologies.line(4))
+    attach_recorders(net)
+    header = build_anr([0, 1, 2, 3], net.id_lookup)
+    net.node(0).inject(header, "x")
+    net.run_to_quiescence()
+    assert net.metrics.header_ids == len(header) == 4

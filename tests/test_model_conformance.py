@@ -1,0 +1,119 @@
+"""Direct tests of the modelling statements in docs/MODEL.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import attach_recorders, limiting_net
+from repro.hardware import build_anr
+from repro.network import Network, Protocol, topologies
+from repro.sim import FixedDelays, ProtocolError
+
+
+def test_copy_and_normal_id_of_one_link_are_the_same_port():
+    # Two sends in one involvement using the normal and the copy variant
+    # of the SAME link must be rejected: one physical port.
+    net = limiting_net(topologies.line(2))
+
+    class Doubler(Protocol):
+        def on_start(self, payload):
+            info = self.api.active_links()[0]
+            self.api.send((info.normal_at_u, 0), "one")
+            self.api.send((info.copy_at_u, 0), "two")
+
+    net.attach(lambda api: Doubler(api))
+    net.start([0])
+    with pytest.raises(ProtocolError, match="multicast"):
+        net.run_to_quiescence()
+
+
+def test_packet_arrivals_order_before_ncu_completion_at_same_instant():
+    # With C=0, a packet injected at a completion instant must already
+    # be queued when the NCU picks its next job — the priority rule.
+    # Consequence: two back-to-back sends to the same node are served in
+    # order with no idle gap.
+    net = limiting_net(topologies.line(2))
+    recorders = attach_recorders(net)
+    header = build_anr([0, 1], net.id_lookup)
+    net.node(0).inject(header, "first")
+    net.node(0).inject(header, "second")
+    net.run_to_quiescence()
+    assert [p.payload for p in recorders[1].packets] == ["first", "second"]
+    # Served at t=1 and t=2: busy period with no gap.
+    assert net.scheduler.now == pytest.approx(2.0)
+
+
+def test_start_jobs_are_counted_but_separable():
+    net = limiting_net(topologies.line(3))
+    attach_recorders(net)
+    net.start()
+    net.run_to_quiescence()
+    snap = net.metrics.snapshot()
+    assert snap.system_calls == 3
+    assert snap.system_calls_by_kind == {"start": 3}
+
+
+def test_sends_depart_at_end_of_service_slot():
+    # A handler that sends: the packet's injection time equals the
+    # handler's completion time (start + P), not its start.
+    net = Network(topologies.line(2), delays=FixedDelays(0.0, 2.5))
+    seen = {}
+
+    class Echo(Protocol):
+        def on_start(self, payload):
+            info = self.api.active_links()[0]
+            self.api.send((info.normal_at_u, 0), self.api.now)
+
+        def on_packet(self, packet):
+            seen["sent_at"] = packet.payload
+            seen["received_at"] = self.api.now
+
+    net.attach(lambda api: Echo(api))
+    net.start([0])
+    net.run_to_quiescence()
+    assert seen["sent_at"] == pytest.approx(2.5)  # end of the START slot
+    assert seen["received_at"] == pytest.approx(5.0)  # + its own P
+
+
+def test_worst_case_equals_fixed_delays_for_sequential_chain():
+    # Time accounting sanity: a 3-message relay chain under (C, P)
+    # takes exactly 3*(C+P) + P (the initial START service).
+    C, P = 1.5, 2.0
+    net = Network(topologies.line(4), delays=FixedDelays(C, P))
+    done = {}
+
+    class Relay(Protocol):
+        def on_start(self, payload):
+            if self.api.node_id == 0:
+                self._go()
+
+        def on_packet(self, packet):
+            if self.api.node_id == 3:
+                done["at"] = self.api.now
+            else:
+                self._go()
+
+        def _go(self):
+            target = self.api.node_id + 1
+            info = next(i for i in self.api.active_links() if i.v == target)
+            self.api.send((info.normal_at_u, 0), "token")
+
+    net.attach(lambda api: Relay(api))
+    net.start([0])
+    net.run_to_quiescence()
+    assert done["at"] == pytest.approx(P + 3 * (C + P))
+
+
+def test_dmax_default_covers_election_concatenations():
+    net = limiting_net(topologies.line(10))
+    # 2n + 2: two linear ANRs plus delivery markers.
+    assert net.dmax == 2 * net.n + 2
+
+
+def test_id_width_is_logarithmic_in_degree():
+    import math
+
+    for n in (4, 16, 64):
+        net = limiting_net(topologies.complete(n))
+        max_degree = n - 1
+        assert net.id_space.k <= math.ceil(math.log2(max_degree + 1)) + 2

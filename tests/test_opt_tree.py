@@ -1,0 +1,162 @@
+"""Tests for the Section 5 S(t)/OT(t) recursion and closed forms (E7-E9)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from itertools import islice
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    OptTreeBuilder,
+    binomial_tree,
+    fibonacci_number,
+    fibonacci_tree,
+    prune_to_size,
+    traditional_model_time,
+)
+from repro.core.tree_shapes import predicted_completion
+
+
+def test_base_cases():
+    b = OptTreeBuilder(P=1, C=1)
+    assert b.size(Fraction(1, 2)) == 0  # t < P
+    assert b.size(1) == 1
+    assert b.size(2) == 1  # t < 2P + C
+    assert b.size(3) == 2
+
+
+def test_binomial_case_matches_eq6():
+    b = OptTreeBuilder(P=1, C=0)
+    for k in range(1, 16):
+        assert b.size(k) == 2 ** (k - 1)
+
+
+def test_fibonacci_case_matches_eq9():
+    b = OptTreeBuilder(P=1, C=1)
+    for k in range(1, 20):
+        assert b.size(k) == fibonacci_number(k)
+
+
+def test_fibonacci_number_sequence():
+    assert [fibonacci_number(k) for k in range(1, 11)] == [
+        1, 1, 2, 3, 5, 8, 13, 21, 34, 55,
+    ]
+
+
+def test_size_monotone_nondecreasing():
+    b = OptTreeBuilder(P=1, C=Fraction(3, 2))
+    times = list(islice(b.lattice_times(), 30))
+    sizes = [b.size(t) for t in times]
+    assert sizes == sorted(sizes)
+
+
+def test_tree_sizes_match_recursion():
+    for P, C in [(1, 0), (1, 1), (2, 1), (1, 3)]:
+        b = OptTreeBuilder(P, C)
+        for t in islice(b.lattice_times(), 25):
+            tree = b.tree(t)
+            assert tree is not None
+            assert tree.size == b.size(t)
+
+
+def test_tree_none_below_P():
+    b = OptTreeBuilder(P=2, C=1)
+    assert b.tree(1) is None
+    assert b.tree(2).size == 1
+
+
+def test_ot_completion_equals_optimal_time():
+    # The strongest internal consistency check: the analytic completion
+    # of OT(optimal_time(n)) is exactly optimal_time(n).
+    for P, C in [(1, 0), (1, 1), (1, 2), (2, 1), (1, Fraction(1, 2))]:
+        b = OptTreeBuilder(P, C)
+        for n in (1, 2, 3, 5, 9, 20, 50):
+            t, tree = b.optimal_tree_for(n)
+            assert tree.size == n
+            assert predicted_completion(tree, P, C) <= t
+            # No strictly smaller lattice time admits n nodes.
+            for earlier in b.lattice_times():
+                if earlier >= t:
+                    break
+                assert b.size(earlier) < n
+
+
+def test_binomial_tree_structure():
+    for k in range(1, 8):
+        tree = binomial_tree(k)
+        assert tree.size == 2 ** (k - 1)
+        assert tree.degree_of_root() == k - 1
+        assert tree.depth() == k - 1
+
+
+def test_fibonacci_tree_structure():
+    for k in range(1, 12):
+        assert fibonacci_tree(k).size == fibonacci_number(k)
+
+
+def test_builder_matches_closed_form_trees():
+    # OT(k) for C=0,P=1 has the binomial shape (same size and depth).
+    b = OptTreeBuilder(1, 0)
+    for k in range(1, 8):
+        tree = b.tree(k)
+        ref = binomial_tree(k)
+        assert tree.size == ref.size
+        assert tree.depth() == ref.depth()
+
+
+def test_prune_to_size():
+    b = OptTreeBuilder(1, 1)
+    tree = b.tree(10)
+    for n in (1, 2, 5, tree.size):
+        pruned = prune_to_size(tree, n)
+        assert pruned.size == n
+        # Pruning never hurts the deadline.
+        assert predicted_completion(pruned, 1, 1) <= predicted_completion(tree, 1, 1)
+
+
+def test_prune_validates_n():
+    with pytest.raises(ValueError):
+        prune_to_size(binomial_tree(3), 0)
+
+
+def test_traditional_model_degenerates():
+    assert traditional_model_time(1) == 0
+    assert traditional_model_time(2) == 1
+    assert traditional_model_time(10**6) == 1  # any n in one unit
+    with pytest.raises(ValueError):
+        OptTreeBuilder(P=0, C=1)  # the recursion blows up
+
+
+def test_negative_parameters_rejected():
+    with pytest.raises(ValueError):
+        OptTreeBuilder(P=1, C=-1)
+
+
+@settings(max_examples=30)
+@given(
+    st.integers(min_value=1, max_value=4),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=1, max_value=60),
+)
+def test_optimal_time_inverse_property(P, C, n):
+    b = OptTreeBuilder(P, C)
+    t = b.optimal_time(n)
+    assert b.size(t) >= n
+    # t is on the lattice and minimal.
+    previous = None
+    for lattice_t in b.lattice_times():
+        if lattice_t >= t:
+            break
+        previous = lattice_t
+    if previous is not None:
+        assert b.size(previous) < n
+
+
+def test_deep_recursion_does_not_overflow_stack():
+    # A fine lattice forces thousands of recursion steps; the iterative
+    # memoisation must handle it.
+    b = OptTreeBuilder(P=1, C=0)
+    assert b.size(3000) == 2**2999

@@ -1,0 +1,39 @@
+"""Unit tests for the Packet dataclass."""
+
+from __future__ import annotations
+
+from repro.hardware import Packet
+
+
+def make(header=(1, 2, 0), payload="x"):
+    return Packet(seq=1, origin=0, header=header, payload=payload)
+
+
+def test_original_header_length_is_frozen():
+    packet = make(header=(1, 2, 3, 0))
+    assert packet.original_header_length == 4
+    packet.header = packet.header[1:]
+    assert packet.original_header_length == 4
+    assert packet.header == (2, 3, 0)
+
+
+def test_delivery_copy_is_independent_snapshot():
+    packet = make()
+    packet.hops = 2
+    packet.reverse_anr = (5, 6)
+    copy = packet.delivery_copy()
+    packet.header = ()
+    packet.hops = 9
+    packet.reverse_anr = (7,)
+    assert copy.header == (1, 2, 0)
+    assert copy.hops == 2
+    assert copy.reverse_anr == (5, 6)
+    assert copy.payload == "x"
+    assert copy.seq == packet.seq
+
+
+def test_payload_shared_not_copied():
+    payload = ["mutable"]
+    packet = make(payload=payload)
+    copy = packet.delivery_copy()
+    assert copy.payload is payload  # contents never inspected by hardware

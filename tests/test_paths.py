@@ -1,0 +1,105 @@
+"""Unit and property tests for the branching-path decomposition."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import graph_adjacency, random_tree
+from repro.core import (
+    decompose_paths,
+    label_tree,
+    label_upper_bound,
+    max_chain_depth,
+    max_label,
+    paths_starting_at,
+)
+from repro.core.paths import check_chain_property
+from repro.network import bfs_tree, topologies, tree_from_parent
+
+
+def test_single_node_decomposition_empty():
+    tree = tree_from_parent(0, {0: None})
+    assert decompose_paths(tree) == []
+    assert max_chain_depth([]) == 0
+
+
+def test_path_graph_is_one_path():
+    tree = bfs_tree(graph_adjacency(topologies.line(7)), 0)
+    paths = decompose_paths(tree)
+    assert len(paths) == 1
+    assert paths[0].nodes == (0, 1, 2, 3, 4, 5, 6)
+    assert paths[0].label == 0
+    assert paths[0].chain_depth == 1
+
+
+def test_star_decomposes_into_single_edges():
+    tree = bfs_tree(graph_adjacency(topologies.star(6)), 0)
+    paths = decompose_paths(tree)
+    assert len(paths) == 5
+    assert all(p.hops == 1 and p.start == 0 and p.chain_depth == 1 for p in paths)
+
+
+def test_binary_tree_paths_are_edges():
+    # Complete binary trees are the worst case: every path is one edge.
+    tree = bfs_tree(graph_adjacency(topologies.complete_binary_tree(3)), 0)
+    paths = decompose_paths(tree)
+    assert all(p.hops == 1 for p in paths)
+    assert len(paths) == len(tree) - 1
+    assert max_chain_depth(paths) == 3
+
+
+def test_caterpillar_spine_is_one_path():
+    g = topologies.caterpillar(6, 1)
+    tree = bfs_tree(graph_adjacency(g), 0)
+    paths = decompose_paths(tree)
+    # The spine forms one long multi-hop path; legs hang off it as
+    # short label-0 paths, so the chain never exceeds depth 2.
+    longest = max(p.hops for p in paths)
+    assert longest >= 4
+    assert max_chain_depth(paths) <= 2
+
+
+def test_paths_starting_at():
+    tree = bfs_tree(graph_adjacency(topologies.star(4)), 0)
+    paths = decompose_paths(tree)
+    assert len(paths_starting_at(paths, 0)) == 3
+    assert paths_starting_at(paths, 1) == ()
+
+
+@given(st.integers(min_value=1, max_value=80), st.integers(min_value=0, max_value=10**6))
+def test_decomposition_invariants(n, seed):
+    tree = random_tree(n, seed)
+    labels = label_tree(tree)
+    paths = decompose_paths(tree, labels)
+
+    # Every edge covered exactly once.
+    covered_edges = [
+        (a, b) for p in paths for a, b in zip(p.nodes, p.nodes[1:])
+    ]
+    assert len(covered_edges) == n - 1
+    assert len(set(covered_edges)) == n - 1
+    for parent, child in covered_edges:
+        assert tree.parent[child] == parent  # one-way: always downward
+
+    # Every non-root node covered exactly once.
+    covered_nodes = [node for p in paths for node in p.nodes[1:]]
+    assert sorted(covered_nodes, key=repr) == sorted(
+        (x for x in tree.parent if x != tree.root), key=repr
+    )
+
+    # Uniform edge labels within each path.
+    for p in paths:
+        assert {labels[child] for child in p.nodes[1:]} == {p.label}
+
+    # Every path start is the root or covered by a shallower path.
+    depth_of = {tree.root: 0}
+    for p in sorted(paths, key=lambda p: p.chain_depth):
+        assert p.start in depth_of
+        assert depth_of[p.start] == p.chain_depth - 1
+        for node in p.nodes[1:]:
+            depth_of[node] = p.chain_depth
+
+    # Theorem 2: chain depth bounded by 1 + x - y, hence <= 1 + log2 n.
+    assert check_chain_property(paths, max_label(labels))
+    assert max_chain_depth(paths) <= 1 + label_upper_bound(n)

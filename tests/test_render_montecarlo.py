@@ -1,0 +1,140 @@
+"""Tests for ASCII rendering and Monte-Carlo summaries."""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import graph_adjacency
+from repro.analysis.montecarlo import SUMMARY_HEADERS, Summary, sweep
+from repro.analysis.render import (
+    render_labelled_tree,
+    render_opt_tree,
+    render_paths,
+    render_tree,
+)
+from repro.core import binomial_tree, path_tree
+from repro.network import bfs_tree, topologies, tree_from_parent
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def test_render_tree_shape():
+    tree = tree_from_parent(0, {0: None, 1: 0, 2: 0, 3: 1})
+    art = render_tree(tree)
+    assert art.splitlines() == [
+        "0",
+        "├── 1",
+        "│   └── 3",
+        "└── 2",
+    ]
+
+
+def test_render_tree_single_node():
+    tree = tree_from_parent("solo", {"solo": None})
+    assert render_tree(tree) == "solo"
+
+
+def test_render_labelled_tree_shows_labels():
+    tree = bfs_tree(graph_adjacency(topologies.star(4)), 0)
+    art = render_labelled_tree(tree)
+    assert "[1]" in art.splitlines()[0]  # the hub's tie label
+    assert art.count("[0]") == 3
+
+
+def test_render_paths_waves():
+    tree = bfs_tree(graph_adjacency(topologies.complete_binary_tree(2)), 0)
+    art = render_paths(tree)
+    assert "wave 1" in art and "wave 2" in art
+    assert art.count("->") == 6  # six single-edge paths
+
+
+def test_render_paths_single_node():
+    tree = tree_from_parent(0, {0: None})
+    assert "nothing to send" in render_paths(tree)
+
+
+def test_render_opt_tree_sizes():
+    art = render_opt_tree(binomial_tree(3))
+    assert art.splitlines()[0] == "(4)"
+    assert "(2)" in art and "(1)" in art
+
+
+def test_render_opt_tree_truncates_depth():
+    art = render_opt_tree(path_tree(30), max_depth=3)
+    assert "..." in art
+    assert len(art.splitlines()) < 15
+
+
+# ----------------------------------------------------------------------
+# Monte-Carlo
+# ----------------------------------------------------------------------
+def test_summary_statistics():
+    summary = Summary(samples=(1.0, 2.0, 3.0, 4.0))
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert summary.quantile(0.0) == 1.0
+    assert summary.quantile(1.0) == 4.0
+    assert summary.quantile(0.5) == pytest.approx(2.5)
+    assert len(summary.row()) == len(SUMMARY_HEADERS)
+
+
+def test_summary_single_sample():
+    summary = Summary(samples=(7.0,))
+    assert summary.stdev == 0.0
+    assert summary.quantile(0.5) == 7.0
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        Summary(samples=(1.0,)).quantile(1.5)
+
+
+def test_sweep_with_int_seeds():
+    summary = sweep(lambda seed: float(seed * seed), 5)
+    assert summary.samples == (0.0, 1.0, 4.0, 9.0, 16.0)
+
+
+def test_sweep_with_explicit_seeds():
+    summary = sweep(lambda seed: float(seed), [10, 20])
+    assert summary.mean == 15.0
+
+
+def test_sweep_requires_seeds():
+    with pytest.raises(ValueError):
+        sweep(lambda seed: 0.0, [])
+
+
+def test_sweep_real_election_distribution():
+    # The metric the docs quote: tour+return calls per node across seeds
+    # never exceeds 6 (Theorem 5), and concentrates well below it.
+    from repro.core import LeaderElection
+    from repro.network import Network
+    from repro.sim import RandomDelays
+
+    def calls_per_node(seed: int) -> float:
+        g = topologies.random_connected(24, 0.18, seed=seed)
+        net = Network(g, delays=RandomDelays(hardware=0.3, software=1.0, seed=seed))
+        net.attach(lambda api: LeaderElection(api))
+        net.start()
+        net.run_to_quiescence(max_events=3_000_000)
+        snap = net.metrics.snapshot()
+        tours = snap.system_calls_by_kind.get("tour", 0)
+        returns = snap.system_calls_by_kind.get("return", 0)
+        return (tours + returns) / net.n
+
+    summary = sweep(calls_per_node, 10)
+    assert summary.maximum <= 6.0
+    assert summary.mean < 6.0
+
+
+def test_render_module_doctest():
+    import doctest
+
+    import repro.analysis.render as render_module
+
+    results = doctest.testmod(render_module)
+    assert results.failed == 0
+    assert results.attempted >= 1

@@ -1,0 +1,25 @@
+"""Unit tests for the report builder (the CLI test covers the full run)."""
+
+from __future__ import annotations
+
+from repro.reporting import ReportBuilder
+
+
+def test_report_builder_writes_markdown_and_csv(tmp_path):
+    builder = ReportBuilder(tmp_path / "out")
+    builder.add("E99", "a demo table", ["x", "y"], [[1, 2], [3, 4]])
+    builder.add("E100", "another", ["z"], [[9]])
+    path = builder.write()
+    assert path.name == "REPORT.md"
+    text = path.read_text()
+    assert "## E99 — a demo table" in text
+    assert "## E100 — another" in text
+    csvs = sorted(p.name for p in path.parent.glob("*.csv"))
+    assert csvs == ["e100_another.csv", "e99_a_demo_table.csv"]
+    assert "x,y" in (path.parent / "e99_a_demo_table.csv").read_text()
+
+
+def test_report_builder_empty_report(tmp_path):
+    builder = ReportBuilder(tmp_path)
+    path = builder.write()
+    assert "Reproduction report" in path.read_text()

@@ -1,0 +1,159 @@
+"""Unit tests for the discrete-event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Scheduler, SimulationError
+
+
+def test_events_fire_in_time_order():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(3.0, lambda: fired.append("c"))
+    sched.schedule(1.0, lambda: fired.append("a"))
+    sched.schedule(2.0, lambda: fired.append("b"))
+    sched.run()
+    assert fired == ["a", "b", "c"]
+    assert sched.now == 3.0
+
+
+def test_same_time_events_fire_fifo():
+    sched = Scheduler()
+    fired = []
+    for name in "abcde":
+        sched.schedule(1.0, lambda name=name: fired.append(name))
+    sched.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_insertion_order():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, lambda: fired.append("low"), priority=2)
+    sched.schedule(1.0, lambda: fired.append("high"), priority=0)
+    sched.run()
+    assert fired == ["high", "low"]
+
+
+def test_zero_delay_event_fires_after_current_instant_peers():
+    sched = Scheduler()
+    fired = []
+
+    def outer():
+        fired.append("outer")
+        sched.schedule(0.0, lambda: fired.append("inner"))
+
+    sched.schedule(1.0, outer)
+    sched.schedule(1.0, lambda: fired.append("peer"))
+    sched.run()
+    assert fired == ["outer", "peer", "inner"]
+
+
+def test_negative_delay_rejected():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sched = Scheduler()
+    sched.schedule(5.0, lambda: None)
+    sched.run()
+    with pytest.raises(SimulationError):
+        sched.schedule_at(1.0, lambda: None)
+
+
+def test_run_until_stops_clock_at_horizon():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, lambda: fired.append(1))
+    sched.schedule(10.0, lambda: fired.append(10))
+    sched.run(until=5.0)
+    assert fired == [1]
+    assert sched.now == 5.0
+    sched.run()
+    assert fired == [1, 10]
+
+
+def test_run_until_fires_events_exactly_at_horizon():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(5.0, lambda: fired.append("at"))
+    sched.run(until=5.0)
+    assert fired == ["at"]
+
+
+def test_stop_when_predicate():
+    sched = Scheduler()
+    fired = []
+    for i in range(10):
+        sched.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sched.run(stop_when=lambda: len(fired) >= 3)
+    assert fired == [0, 1, 2]
+
+
+def test_max_events_guard():
+    sched = Scheduler()
+
+    def rearm():
+        sched.schedule(1.0, rearm)
+
+    sched.schedule(1.0, rearm)
+    with pytest.raises(SimulationError, match="max_events"):
+        sched.run(max_events=100)
+
+
+def test_cancelled_events_are_skipped():
+    sched = Scheduler()
+    fired = []
+    event = sched.schedule(1.0, lambda: fired.append("cancelled"))
+    sched.schedule(2.0, lambda: fired.append("kept"))
+    event.cancel()
+    sched.run()
+    assert fired == ["kept"]
+
+
+def test_step_advances_one_event():
+    sched = Scheduler()
+    fired = []
+    sched.schedule(1.0, lambda: fired.append(1))
+    sched.schedule(2.0, lambda: fired.append(2))
+    assert sched.step() is True
+    assert fired == [1]
+    assert sched.step() is True
+    assert sched.step() is False
+
+
+def test_peek_time_skips_cancelled():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sched.peek_time() == 2.0
+
+
+def test_events_processed_counter():
+    sched = Scheduler()
+    for _ in range(5):
+        sched.schedule(1.0, lambda: None)
+    sched.run()
+    assert sched.events_processed == 5
+
+
+def test_reentrant_run_rejected():
+    sched = Scheduler()
+
+    def reenter():
+        sched.run()
+
+    sched.schedule(1.0, reenter)
+    with pytest.raises(SimulationError, match="re-entrant"):
+        sched.run()
+
+
+def test_iter_steps_yields_times():
+    sched = Scheduler()
+    sched.schedule(1.0, lambda: None)
+    sched.schedule(2.5, lambda: None)
+    assert list(sched.iter_steps()) == [1.0, 2.5]

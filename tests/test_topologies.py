@@ -1,0 +1,122 @@
+"""Unit tests for the topology generators."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.network import topologies
+
+
+def test_line():
+    g = topologies.line(5)
+    assert g.number_of_nodes() == 5
+    assert g.number_of_edges() == 4
+    degrees = sorted(d for _, d in g.degree)
+    assert degrees == [1, 1, 2, 2, 2]
+
+
+def test_ring():
+    g = topologies.ring(6)
+    assert all(d == 2 for _, d in g.degree)
+    assert nx.is_connected(g)
+    with pytest.raises(ValueError):
+        topologies.ring(2)
+
+
+def test_star():
+    g = topologies.star(7)
+    assert g.degree[0] == 6
+    assert all(g.degree[i] == 1 for i in range(1, 7))
+
+
+def test_complete():
+    g = topologies.complete(6)
+    assert g.number_of_edges() == 15
+
+
+def test_grid():
+    g = topologies.grid(3, 5)
+    assert g.number_of_nodes() == 15
+    assert g.number_of_edges() == 3 * 4 + 5 * 2
+    assert set(g.nodes) == set(range(15))
+
+
+def test_hypercube():
+    g = topologies.hypercube(4)
+    assert g.number_of_nodes() == 16
+    assert all(d == 4 for _, d in g.degree)
+
+
+@pytest.mark.parametrize("depth", [0, 1, 2, 5])
+def test_complete_binary_tree(depth):
+    g = topologies.complete_binary_tree(depth)
+    n = 2 ** (depth + 1) - 1
+    assert g.number_of_nodes() == n
+    assert g.number_of_edges() == n - 1
+    assert nx.is_tree(g) or n == 1
+    if depth >= 1:
+        assert g.degree[0] == 2  # the root
+        leaves = [v for v in g if g.degree[v] == 1]
+        assert len(leaves) == 2**depth
+
+
+def test_balanced_tree():
+    g = topologies.balanced_tree(3, 2)
+    assert g.number_of_nodes() == 1 + 3 + 9
+
+
+def test_caterpillar():
+    g = topologies.caterpillar(4, 2)
+    assert g.number_of_nodes() == 4 + 8
+    assert nx.is_tree(g)
+    leaves = [v for v in g if g.degree[v] == 1]
+    # Spine endpoints carry legs too, so only the legs themselves are leaves.
+    assert len(leaves) == 8
+
+
+def test_caterpillar_no_legs_is_path():
+    g = topologies.caterpillar(5, 0)
+    assert nx.is_isomorphic(g, nx.path_graph(5))
+
+
+def test_broom():
+    g = topologies.broom(3, 4)
+    assert g.number_of_nodes() == 7
+    assert g.degree[2] == 5  # hub: one path edge + 4 bristles
+    assert nx.is_tree(g)
+
+
+def test_random_connected_is_connected():
+    for seed in range(5):
+        g = topologies.random_connected(30, 0.1, seed=seed)
+        assert nx.is_connected(g)
+        assert g.number_of_nodes() == 30
+
+
+def test_random_geometric_connected():
+    g = topologies.random_geometric_connected(25, 0.35, seed=1)
+    assert nx.is_connected(g)
+    assert g.number_of_nodes() == 25
+    assert set(g.nodes) == set(range(25))
+
+
+def test_barbell():
+    g = topologies.barbell(4, 2)
+    assert g.number_of_nodes() == 10
+    assert nx.is_connected(g)
+
+
+def test_two_connected_example_shape():
+    g = topologies.two_connected_example()
+    assert g.number_of_nodes() == 6
+    assert g.number_of_edges() == 6
+    # The triangle plus three pendant leaves.
+    assert sorted(d for _, d in g.degree) == [1, 1, 1, 3, 3, 3]
+
+
+def test_single_node_generators():
+    assert topologies.line(1).number_of_nodes() == 1
+    assert topologies.complete(1).number_of_nodes() == 1
+    with pytest.raises(ValueError):
+        topologies.line(0)

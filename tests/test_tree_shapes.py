@@ -1,0 +1,158 @@
+"""Tests for baseline aggregation shapes and the analytic evaluator."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import OptTreeBuilder, balanced_binary_tree, path_tree, star_tree
+from repro.core.tree_shapes import predicted_completion, shape_catalog, to_spanning_tree
+
+
+def test_star_shape():
+    tree = star_tree(6)
+    assert tree.size == 6
+    assert tree.degree_of_root() == 5
+    assert tree.depth() == 1
+    assert star_tree(1).size == 1
+
+
+def test_path_shape():
+    tree = path_tree(5)
+    assert tree.size == 5
+    assert tree.depth() == 4
+    assert tree.degree_of_root() == 1
+
+
+def test_balanced_binary_shape():
+    tree = balanced_binary_tree(7)
+    assert tree.size == 7
+    assert tree.depth() == 2
+    assert balanced_binary_tree(1).size == 1
+
+
+def test_predicted_completion_known_values():
+    # Star, P=1, C=1: root serves START + (n-1) messages back to back;
+    # first message arrives at 1+C=2 > P, so finish = n + 1.
+    assert predicted_completion(star_tree(8), 1, 1) == 9
+    # Path, P=1, C=1: each level adds P+C... finish = 2n - 1.
+    assert predicted_completion(path_tree(8), 1, 1) == 15
+    # Single node: just the START job.
+    assert predicted_completion(star_tree(1), 1, 1) == 1
+
+
+def test_predicted_completion_zero_C_star():
+    # With C=0 the star's root still serialises: n-1 jobs after START.
+    assert predicted_completion(star_tree(5), 1, 0) == 5
+
+
+def test_predicted_completion_traditional_model():
+    # P=0, C=1: a star finishes in one unit regardless of size (Example 2).
+    assert predicted_completion(star_tree(100), 0, 1) == 1
+    assert predicted_completion(star_tree(2), 0, 1) == 1
+
+
+def test_predicted_completion_fractional():
+    t = predicted_completion(path_tree(3), Fraction(1, 2), Fraction(1, 4))
+    assert t == Fraction(1, 2) * 3 + Fraction(1, 4) * 2
+
+
+def test_shape_catalog_sizes():
+    catalog = shape_catalog(9)
+    assert set(catalog) == {"star", "path", "binary"}
+    assert all(shape.size == 9 for shape in catalog.values())
+
+
+def test_optimal_never_worse_than_baselines():
+    for P, C in [(1, 0), (1, 1), (1, 4), (3, 1)]:
+        builder = OptTreeBuilder(P, C)
+        for n in (2, 8, 32, 100):
+            t_opt, _ = builder.optimal_tree_for(n)
+            for shape in shape_catalog(n).values():
+                assert t_opt <= predicted_completion(shape, P, C)
+
+
+def test_star_approaches_optimal_as_C_grows():
+    # When hardware dominates (C >> P), fan-out is cheap and the star's
+    # penalty (serialised root) shrinks relative to the optimum.
+    n = 16
+    gaps = []
+    for C in (0, 2, 8, 32):
+        builder = OptTreeBuilder(1, C)
+        t_opt, _ = builder.optimal_tree_for(n)
+        gaps.append(float(predicted_completion(star_tree(n), 1, C) / t_opt))
+    assert gaps[0] > gaps[-1]
+    assert gaps == sorted(gaps, reverse=True)
+
+
+def test_to_spanning_tree_roundtrip():
+    shape = balanced_binary_tree(7)
+    tree = to_spanning_tree(shape, list(range(7)))
+    assert tree.root == 0
+    assert len(tree) == 7
+    assert tree.depth() == 2
+    sizes = tree.subtree_sizes()
+    assert sizes[0] == 7
+
+
+def test_to_spanning_tree_unfolds_shared_structure():
+    from repro.core import binomial_tree
+
+    shape = binomial_tree(4)  # built with structural sharing
+    tree = to_spanning_tree(shape, list(range(shape.size)))
+    assert len(tree) == 8
+    assert len(set(tree.parent)) == 8
+
+
+def test_to_spanning_tree_wrong_id_count():
+    with pytest.raises(ValueError):
+        to_spanning_tree(star_tree(3), [0, 1])
+
+
+def test_builder_trees_are_isomorphic_to_closed_forms():
+    from repro.core import OptTreeBuilder, binomial_tree, fibonacci_tree
+    from repro.core.tree_shapes import canonical_shape
+
+    b0 = OptTreeBuilder(1, 0)
+    for k in range(1, 9):
+        assert canonical_shape(b0.tree(k)) == canonical_shape(binomial_tree(k))
+    b1 = OptTreeBuilder(1, 1)
+    for k in range(1, 12):
+        assert canonical_shape(b1.tree(k)) == canonical_shape(fibonacci_tree(k))
+
+
+def test_canonical_shape_distinguishes_non_isomorphic():
+    from repro.core.tree_shapes import canonical_shape
+
+    assert canonical_shape(star_tree(4)) != canonical_shape(path_tree(4))
+    assert canonical_shape(star_tree(4)) == canonical_shape(star_tree(4))
+
+
+def test_canonical_shape_invariant_under_child_permutation():
+    from hypothesis import given, strategies as st
+
+    from conftest import random_tree
+    from repro.core.tree_shapes import OptTree, canonical_shape
+
+    @given(st.integers(min_value=1, max_value=40),
+           st.integers(min_value=0, max_value=10**6))
+    def inner(n, seed):
+        import random as _random
+
+        tree = random_tree(n, seed)
+        rng = _random.Random(seed)
+
+        def build(node, shuffle):
+            kids = list(tree.children[node])
+            if shuffle:
+                rng.shuffle(kids)
+            shapes = tuple(build(c, shuffle) for c in kids)
+            return OptTree(children=shapes,
+                           size=1 + sum(s.size for s in shapes))
+
+        assert canonical_shape(build(tree.root, False)) == canonical_shape(
+            build(tree.root, True)
+        )
+
+    inner()
