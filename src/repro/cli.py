@@ -9,15 +9,24 @@ Examples::
     python -m repro globalfn  --n 64 --P 1 --C 2
     python -m repro lowerbound --max-depth 10
     python -m repro multicast --topology random:64,1 --messages 5
+    python -m repro observe   --topology grid:8,8 --workload broadcast --stats
 
 All commands print the same row formats the benchmarks use, so shell
 runs and `pytest benchmarks/` outputs are directly comparable.
+
+Observability (see ``docs/API.md`` § Observability): every simulating
+command accepts ``--trace-out`` (JSONL records), ``--chrome-trace``
+(Perfetto/chrome://tracing JSON), ``--stats`` (live histograms) and
+``--manifest-out``; any export also writes a run manifest recording the
+seed, topology, ``(C, P)`` and git revision.  With ``--compare`` the
+exports cover the ``--scheme`` run.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from .analysis.sweeps import tradeoff_sweep
@@ -53,6 +62,87 @@ def _net(spec: str, C: float, P: float, **kwargs):
 
 
 # ----------------------------------------------------------------------
+# Observability wiring
+# ----------------------------------------------------------------------
+def _obs_requested(args: argparse.Namespace) -> bool:
+    """Whether any observability output was asked for."""
+    return bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "chrome_trace", None)
+        or getattr(args, "stats", False)
+        or getattr(args, "manifest_out", None)
+    )
+
+
+def _obs_needs_trace(args: argparse.Namespace) -> bool:
+    """Whether the observed run must record a full trace."""
+    return bool(getattr(args, "trace_out", None) or getattr(args, "chrome_trace", None))
+
+
+def _obs_net(args: argparse.Namespace, *, observed: bool = True):
+    """Build the command's network, traced/instrumented as requested.
+
+    Returns ``(net, stats)`` where ``stats`` is an installed
+    :class:`~repro.obs.live.LiveStats` or ``None``.
+    """
+    net = _net(
+        args.topology,
+        args.C,
+        args.P,
+        trace=observed and _obs_needs_trace(args),
+        trace_capacity=getattr(args, "trace_capacity", None),
+    )
+    stats = None
+    if observed and getattr(args, "stats", False):
+        from .obs import LiveStats
+
+        stats = LiveStats().install(net)
+    return net, stats
+
+
+def _obs_finish(
+    args: argparse.Namespace, net, stats, *, command: str, **extra
+) -> None:
+    """Write the requested exports and print the live statistics."""
+    if net is None or not _obs_requested(args):
+        return
+    from .obs import RunManifest, build_spans, records_to_jsonl, write_chrome_trace
+
+    if getattr(args, "trace_out", None):
+        path = records_to_jsonl(net.trace, args.trace_out)
+        dropped = f", {net.trace.dropped} dropped" if net.trace.dropped else ""
+        print(f"trace written to {path} ({len(net.trace)} records{dropped})")
+    if getattr(args, "chrome_trace", None):
+        spans = build_spans(net.trace)
+        ncu_spans = sum(1 for s in spans if s.category == "ncu")
+        path = write_chrome_trace(args.chrome_trace, spans)
+        print(
+            f"chrome trace written to {path} ({len(spans)} spans; "
+            f"{ncu_spans} ncu-job spans = {net.metrics.system_calls} "
+            "system calls total)"
+        )
+    if stats is not None:
+        stats.uninstall()
+        print()
+        print(stats.render())
+    manifest_out = getattr(args, "manifest_out", None)
+    if manifest_out is None and _obs_needs_trace(args):
+        anchor = Path(getattr(args, "chrome_trace", None) or args.trace_out)
+        manifest_out = anchor.with_suffix(".manifest.json")
+    if manifest_out is not None:
+        manifest = RunManifest.collect(
+            net,
+            command=command,
+            topology=getattr(args, "topology", None),
+            C=getattr(args, "C", None),
+            P=getattr(args, "P", None),
+            seed=getattr(args, "seed", None),
+            **extra,
+        )
+        print(f"run manifest written to {manifest.write(manifest_out)}")
+
+
+# ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
 def cmd_broadcast(args: argparse.Namespace) -> int:
@@ -69,8 +159,12 @@ def cmd_broadcast(args: argparse.Namespace) -> int:
         print()
     schemes = BROADCAST_SCHEMES if args.compare else (args.scheme,)
     rows = []
+    observed_net, observed_stats = None, None
     for scheme in schemes:
-        net = _net(args.topology, args.C, args.P)
+        observed = _obs_requested(args) and scheme == args.scheme
+        net, stats = _obs_net(args, observed=observed)
+        if observed:
+            observed_net, observed_stats = net, stats
         adjacency = net.adjacency()
         factories = {
             "bpaths": lambda api: BranchingPathsBroadcast(
@@ -95,6 +189,10 @@ def cmd_broadcast(args: argparse.Namespace) -> int:
         title=f"broadcast from node {args.root} on {args.topology} "
               f"(C={args.C}, P={args.P})",
     ))
+    _obs_finish(
+        args, observed_net, observed_stats,
+        command="broadcast", scheme=args.scheme, root=args.root,
+    )
     return 0
 
 
@@ -107,8 +205,13 @@ def cmd_election(args: argparse.Namespace) -> int:
             ("Hirschberg-Sinclair", lambda api: HirschbergSinclair(api)),
         ]
     rows = []
+    observed_net, observed_stats = None, None
     for name, factory in contenders:
-        net = _net(args.topology, args.C, args.P)
+        # Exports cover the paper's algorithm (the first contender).
+        observed = _obs_requested(args) and name == contenders[0][0]
+        net, stats = _obs_net(args, observed=observed)
+        if observed:
+            observed_net, observed_stats = net, stats
         if args.baselines and name != contenders[0][0] and not _is_ring(net):
             rows.append([name, net.n, "-", "-", "-", "(needs a ring)"])
             continue
@@ -129,6 +232,10 @@ def cmd_election(args: argparse.Namespace) -> int:
         title=f"leader election on {args.topology} "
               f"(Theorem 5 bound: 6n = {6 * rows[0][1]})",
     ))
+    _obs_finish(
+        args, observed_net, observed_stats,
+        command="election", starters=args.starters,
+    )
     return 0
 
 
@@ -137,7 +244,7 @@ def _is_ring(net) -> bool:
 
 
 def cmd_converge(args: argparse.Namespace) -> int:
-    net = _net(args.topology, args.C, args.P)
+    net, stats = _obs_net(args)
     attach_topology_maintenance(net, strategy=args.strategy, scope=args.scope)
     rows = []
     result = converge_by_rounds(net, max_rounds=args.max_rounds)
@@ -156,6 +263,11 @@ def cmd_converge(args: argparse.Namespace) -> int:
         title=f"topology maintenance on {args.topology} "
               f"(strategy={args.strategy}, scope={args.scope})",
     ))
+    _obs_finish(
+        args, net, stats,
+        command="converge", strategy=args.strategy, scope=args.scope,
+        failures=args.fail,
+    )
     return 0
 
 
@@ -201,13 +313,75 @@ def cmd_lowerbound(args: argparse.Namespace) -> int:
 
 
 def cmd_multicast(args: argparse.Namespace) -> int:
-    net = _net(args.topology, args.C, args.P)
+    net, stats = _obs_net(args)
     run = run_group_multicast(net, args.root, bodies=list(range(args.messages)))
     print(f"hardware multicast group on {args.topology}:")
     print(f"  setup: {run.setup_calls} system calls, {run.setup_time} time")
     print(f"  per message: {run.per_message_calls[0] if run.per_message_calls else '-'} "
           f"system calls, {run.per_message_time[0] if run.per_message_time else '-'} time")
     print(f"  coverage: {run.coverage}/{net.n - 1} non-root nodes")
+    _obs_finish(
+        args, net, stats,
+        command="multicast", root=args.root, messages=args.messages,
+    )
+    return 0
+
+
+def cmd_observe(args: argparse.Namespace) -> int:
+    """Run one workload fully instrumented and render its timeline."""
+    from .obs import LiveStats, build_spans, render_timeline, span_summary_table
+
+    net = _net(
+        args.topology, args.C, args.P,
+        trace=True, trace_capacity=args.trace_capacity,
+    )
+    stats = LiveStats().install(net) if args.stats else None
+    if args.workload == "broadcast":
+        adjacency = net.adjacency()
+        factories = {
+            "bpaths": lambda api: BranchingPathsBroadcast(
+                api, root=args.root, adjacency=adjacency, ids=net.id_lookup
+            ),
+            "flood": lambda api: FloodingBroadcast(api, root=args.root),
+            "direct": lambda api: DirectBroadcast(
+                api, root=args.root, adjacency=adjacency, ids=net.id_lookup
+            ),
+            "dfs": lambda api: DfsBroadcast(
+                api, root=args.root, adjacency=adjacency, ids=net.id_lookup
+            ),
+        }
+        run = run_standalone_broadcast(net, factories[args.scheme], args.root)
+        print(
+            f"{args.scheme} broadcast on {args.topology}: "
+            f"covered {run.coverage}/{net.n}, {run.system_calls} system "
+            f"calls, completed at t={run.completion_time():g}"
+        )
+    else:
+        net.attach(lambda api: LeaderElection(api))
+        net.start()
+        net.run_to_quiescence(max_events=10_000_000)
+        winners = [v for v, f in net.outputs_for_key("is_leader").items() if f]
+        print(
+            f"election on {args.topology}: leader "
+            f"{winners[0] if winners else '-'}, "
+            f"{net.metrics.system_calls} system calls, t={net.scheduler.now:g}"
+        )
+    spans = build_spans(net.trace)
+    print()
+    print(span_summary_table(spans, title="reconstructed spans"))
+    if args.timeline:
+        print()
+        print(render_timeline(
+            spans,
+            width=args.timeline_width,
+            limit=args.limit,
+            title=f"timeline ({args.workload} on {args.topology})",
+        ))
+    _obs_finish(
+        args, net, stats,
+        command="observe", workload=args.workload,
+        scheme=args.scheme if args.workload == "broadcast" else None,
+    )
     return 0
 
 
@@ -239,6 +413,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="hardware delay bound (default %(default)s)")
         p.add_argument("--P", type=float, default=1.0,
                        help="software delay bound (default %(default)s)")
+        obs = p.add_argument_group("observability")
+        obs.add_argument("--trace-out", metavar="PATH", default=None,
+                         help="write the run's trace records as JSON Lines")
+        obs.add_argument("--chrome-trace", metavar="PATH", default=None,
+                         help="write a chrome://tracing / Perfetto span JSON")
+        obs.add_argument("--stats", action="store_true",
+                         help="stream bounded live statistics and print them")
+        obs.add_argument("--manifest-out", metavar="PATH", default=None,
+                         help="run-manifest path (default: next to a trace export)")
+        obs.add_argument("--trace-capacity", type=int, default=None, metavar="N",
+                         help="cap retained trace records (excess is counted, "
+                              "not stored)")
 
     p = sub.add_parser("broadcast", help="one topology broadcast (E1/E2)")
     common(p)
@@ -291,6 +477,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--root", type=int, default=0)
     p.add_argument("--messages", type=int, default=3)
     p.set_defaults(func=cmd_multicast)
+
+    p = sub.add_parser(
+        "observe",
+        help="run one workload fully instrumented: spans, timeline, stats",
+    )
+    common(p)
+    p.add_argument("--workload", choices=("broadcast", "election"),
+                   default="broadcast")
+    p.add_argument("--scheme", choices=BROADCAST_SCHEMES, default="bpaths",
+                   help="broadcast scheme (broadcast workload only)")
+    p.add_argument("--root", type=int, default=0)
+    p.add_argument("--timeline", action=argparse.BooleanOptionalAction,
+                   default=True, help="render the text timeline")
+    p.add_argument("--timeline-width", type=int, default=56)
+    p.add_argument("--limit", type=int, default=40,
+                   help="max timeline rows (default %(default)s)")
+    p.set_defaults(func=cmd_observe)
 
     return parser
 

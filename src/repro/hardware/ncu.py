@@ -239,8 +239,14 @@ class NCU:
             TraceKind.NCU_JOB_START,
             self._node.node_id,
             job=job.accounting_kind,
+            packet=job.payload.seq if isinstance(job.payload, Packet) else None,
         )
         service = net.delays.software_delay(self._node.node_id, self._job_seq)
+        probe = net.probe
+        if probe is not None:
+            probe.ncu_job_start(
+                self._node.node_id, job.accounting_kind, net.scheduler.now, service
+            )
         net.scheduler.schedule(
             service, lambda: self._complete(job), priority=1, tag="ncu"
         )
@@ -259,6 +265,11 @@ class NCU:
                 self._node.node_id,
                 job=job.accounting_kind,
             )
+            probe = net.probe
+            if probe is not None:
+                probe.ncu_job_end(
+                    self._node.node_id, job.accounting_kind, net.scheduler.now
+                )
             self._busy = False
             if self._queue:
                 self._begin_next()

@@ -204,6 +204,9 @@ class SwitchingSubsystem:
         receiving_normal, _ = link.ids_at(other.node_id)
         packet.reverse_anr = (receiving_normal,) + packet.reverse_anr
         net.metrics.count_hop(link.key)
+        probe = net.probe
+        if probe is not None:
+            probe.hop(link.key, net.scheduler.now)
         net.trace.record(
             net.scheduler.now,
             TraceKind.PACKET_HOP,

@@ -55,6 +55,11 @@ class Network:
         self.trace = Trace(enabled=trace, capacity=trace_capacity)
         self.dmax = dmax if dmax is not None else 2 * graph.number_of_nodes() + 2
         self.outputs: dict[Any, dict[str, Any]] = {}
+        #: Observability probe (see :mod:`repro.obs.live`).  ``None``
+        #: means disabled; the NCU and SS hot paths then pay one
+        #: attribute load + identity check per hook site.  Install via
+        #: ``LiveStats.install(net)`` rather than assigning directly.
+        self.probe: Any = None
 
         self._packet_seq = itertools.count(1)
         self._group_seq = itertools.count(0)

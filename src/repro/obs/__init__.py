@@ -1,0 +1,41 @@
+"""Observability: spans, exporters, live stats and run manifests.
+
+Built on top of the :class:`~repro.sim.trace.Trace` flight recorder and
+the substrate's probe hooks.  Everything here is *pull*: the simulator
+never imports this package, so observability can evolve without
+touching the hot path (whose only concession is one ``is not None``
+check per hook site — see ``benchmarks/bench_obs_overhead.py``).
+"""
+
+from .exporters import (
+    chrome_trace_document,
+    record_from_dict,
+    record_to_dict,
+    records_from_jsonl,
+    records_to_jsonl,
+    write_chrome_trace,
+)
+from .live import Histogram, LiveStats
+from .manifest import RunManifest, git_revision
+from .spans import Span, build_spans, children_index, makespan, span_counts
+from .timeline import render_timeline, span_summary_table
+
+__all__ = [
+    "Histogram",
+    "LiveStats",
+    "RunManifest",
+    "Span",
+    "build_spans",
+    "children_index",
+    "chrome_trace_document",
+    "git_revision",
+    "makespan",
+    "record_from_dict",
+    "record_to_dict",
+    "records_from_jsonl",
+    "records_to_jsonl",
+    "render_timeline",
+    "span_counts",
+    "span_summary_table",
+    "write_chrome_trace",
+]

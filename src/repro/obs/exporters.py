@@ -1,0 +1,153 @@
+"""Trace and span exporters.
+
+Three formats, all stdlib-only:
+
+* **JSONL** — one :class:`~repro.sim.trace.TraceRecord` per line;
+  loss-free round trip (``records_from_jsonl(records_to_jsonl(t)) ==
+  t.records`` for JSON-representable nodes/details, with tuples
+  restored from JSON arrays).
+* **Chrome trace-event JSON** — loadable in ``chrome://tracing`` and
+  https://ui.perfetto.dev: one ``"X"`` (complete) event per span, one
+  lane (tid) per node, metadata events naming the lanes.  One simulated
+  time unit is rendered as one millisecond.
+* (The plain-text timeline lives in :mod:`repro.obs.timeline`.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..sim.trace import Trace, TraceKind, TraceRecord
+from .spans import Span
+
+#: Chrome trace timestamps are microseconds; render one simulated time
+#: unit (one "P") as one millisecond so timelines have sane zoom levels.
+US_PER_TIME_UNIT = 1000.0
+
+
+# ----------------------------------------------------------------------
+# JSONL records
+# ----------------------------------------------------------------------
+def record_to_dict(record: TraceRecord) -> dict[str, Any]:
+    """JSON-safe dict form of one record."""
+    return {
+        "time": record.time,
+        "kind": record.kind.value,
+        "node": record.node,
+        "detail": record.detail,
+    }
+
+
+def record_from_dict(data: dict[str, Any]) -> TraceRecord:
+    """Inverse of :func:`record_to_dict` (tuples restored from arrays)."""
+    return TraceRecord(
+        time=float(data["time"]),
+        kind=TraceKind(data["kind"]),
+        node=_untuple(data.get("node")),
+        detail={k: _untuple(v) for k, v in data.get("detail", {}).items()},
+    )
+
+
+def _untuple(value: Any) -> Any:
+    """JSON arrays come back as lists; the simulator speaks tuples."""
+    if isinstance(value, list):
+        return tuple(_untuple(v) for v in value)
+    return value
+
+
+def records_to_jsonl(
+    trace: Trace | Iterable[TraceRecord], path: str | Path
+) -> Path:
+    """Write records as JSON Lines (parent dirs created); returns path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        for record in trace:
+            handle.write(json.dumps(record_to_dict(record), default=str))
+            handle.write("\n")
+    return path
+
+
+def records_from_jsonl(path: str | Path) -> list[TraceRecord]:
+    """Load records written by :func:`records_to_jsonl`."""
+    records = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_dict(json.loads(line)))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events
+# ----------------------------------------------------------------------
+def chrome_trace_document(
+    spans: Iterable[Span], *, process_name: str = "repro simulator"
+) -> dict[str, Any]:
+    """Build a Chrome trace-event document (the JSON object format).
+
+    Every span becomes a complete (``"ph": "X"``) event with its node's
+    lane as ``tid``; zero-length spans get a 1 µs floor so they stay
+    visible.  Span args ride along under ``args`` for the inspector.
+    """
+    spans = list(spans)
+    lanes: dict[str, int] = {}
+    for span in spans:
+        lane_key = repr(span.node)
+        if lane_key not in lanes:
+            lanes[lane_key] = len(lanes)
+
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for lane_key, tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"node {lane_key}"},
+            }
+        )
+    for span in spans:
+        events.append(
+            {
+                "ph": "X",
+                "pid": 1,
+                "tid": lanes[repr(span.node)],
+                "name": span.name,
+                "cat": span.category,
+                "ts": span.start * US_PER_TIME_UNIT,
+                "dur": max(1.0, span.duration * US_PER_TIME_UNIT),
+                "args": {k: _jsonable(v) for k, v in span.args.items()},
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def write_chrome_trace(
+    path: str | Path, spans: Iterable[Span], **kwargs: Any
+) -> Path:
+    """Write :func:`chrome_trace_document` output as JSON; returns path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace_document(spans, **kwargs)) + "\n")
+    return path

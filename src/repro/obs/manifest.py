@@ -1,0 +1,121 @@
+"""Run manifests: make every observed run attributable.
+
+A manifest freezes everything needed to re-run or audit a measurement:
+the command, topology spec, ``(C, P)`` delay bounds, seed, network
+shape, final counter totals, the git revision of the code, and the
+interpreter.  The CLI writes one next to each trace export so a
+``.json`` trace found on disk months later still says where it came
+from.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+
+
+def git_revision() -> str | None:
+    """``git describe --always --dirty`` of the working tree, if any."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    revision = out.stdout.strip()
+    return revision if out.returncode == 0 and revision else None
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Provenance and totals for one simulated run."""
+
+    command: str
+    topology: str | None = None
+    C: float | None = None
+    P: float | None = None
+    seed: int | None = None
+    n: int | None = None
+    m: int | None = None
+    dmax: int | None = None
+    sim_time: float | None = None
+    events_processed: int | None = None
+    system_calls: int | None = None
+    hops: int | None = None
+    packets_injected: int | None = None
+    drops: int | None = None
+    trace_records: int | None = None
+    trace_dropped: int | None = None
+    git: str | None = None
+    python: str = ""
+    platform: str = ""
+    created_at: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        net: "Network",
+        *,
+        command: str,
+        topology: str | None = None,
+        C: float | None = None,
+        P: float | None = None,
+        seed: int | None = None,
+        **extra: Any,
+    ) -> "RunManifest":
+        """Capture a network's current state plus environment stamps."""
+        snap = net.metrics.snapshot()
+        return cls(
+            command=command,
+            topology=topology,
+            C=C,
+            P=P,
+            seed=seed,
+            n=net.n,
+            m=net.m,
+            dmax=net.dmax,
+            sim_time=net.scheduler.now,
+            events_processed=net.scheduler.events_processed,
+            system_calls=snap.system_calls,
+            hops=snap.hops,
+            packets_injected=snap.packets_injected,
+            drops=snap.drops,
+            trace_records=len(net.trace),
+            trace_dropped=net.trace.dropped,
+            git=git_revision(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            extra=dict(extra),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (what :meth:`write` serialises)."""
+        return asdict(self)
+
+    def write(self, path: str | Path) -> Path:
+        """Write as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=str) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "RunManifest":
+        """Read back a manifest written by :meth:`write`."""
+        data = json.loads(Path(path).read_text())
+        return cls(**data)

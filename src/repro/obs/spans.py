@@ -1,0 +1,236 @@
+"""Span reconstruction: turn a flat trace into a hierarchical timeline.
+
+A :class:`~repro.sim.trace.Trace` is a flat stream of instants.  For
+timeline rendering and Chrome-trace export we want *intervals* with
+parent/child structure:
+
+* **packet spans** — one per packet ``seq``, from injection to the last
+  sighting (delivery copy, drop, or final hop).  Children: one **hop
+  span** per link traversal, closed by the packet's next sighting (its
+  arrival at the far end), so a packet renders as a staircase of hops.
+* **ncu spans** — one per served NCU job, paired from the
+  ``NCU_JOB_START`` / ``NCU_JOB_END`` records of a node (the NCU is a
+  single server, so pairing is positional).  A packet-triggered job is
+  parented to its packet's span.
+* **phase spans** — protocols may bracket logical phases by logging
+  ``api.log(phase="election", mark="begin")`` / ``mark="end"``; each
+  begin/end pair at a node becomes one span.
+
+The reconstruction is read-only over the records: it never needs the
+network and is therefore usable on traces loaded back from JSONL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..sim.trace import Trace, TraceKind, TraceRecord
+
+#: Span categories, in rendering order.
+CATEGORIES = ("packet", "hop", "ncu", "phase")
+
+
+@dataclass(frozen=True, slots=True)
+class Span:
+    """One interval on the run's timeline.
+
+    ``sid`` is unique within one reconstruction; ``parent`` refers to
+    another span's ``sid`` (or is ``None`` for roots).
+    """
+
+    sid: int
+    parent: int | None
+    category: str
+    name: str
+    node: Any
+    start: float
+    end: float
+    args: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated time units (never negative)."""
+        return max(0.0, self.end - self.start)
+
+
+def build_spans(trace: Trace | Iterable[TraceRecord]) -> list[Span]:
+    """Reconstruct the span forest from a record stream.
+
+    Records must be in recording order (they are, for a live trace; a
+    JSONL reload preserves it).  Unclosed intervals — a job still in
+    service or a phase never ended when the trace stops — are closed at
+    their last known time and flagged with ``args["unclosed"]``.
+    """
+    records = list(trace)
+    spans: list[Span] = []
+    next_sid = 0
+
+    def make(parent, category, name, node, start, end, **args) -> Span:
+        nonlocal next_sid
+        span = Span(
+            sid=next_sid,
+            parent=parent,
+            category=category,
+            name=name,
+            node=node,
+            start=start,
+            end=end,
+            args=args,
+        )
+        next_sid += 1
+        spans.append(span)
+        return span
+
+    # ------------------------------------------------------------------
+    # Packet lifecycles (and their hop children)
+    # ------------------------------------------------------------------
+    packet_records: dict[int, list[TraceRecord]] = {}
+    packet_order: list[int] = []
+    for rec in records:
+        if rec.kind in (
+            TraceKind.PACKET_INJECTED,
+            TraceKind.PACKET_HOP,
+            TraceKind.PACKET_COPIED,
+            TraceKind.PACKET_DROPPED,
+        ):
+            seq = rec.detail.get("packet")
+            if seq is None:
+                continue
+            if seq not in packet_records:
+                packet_order.append(seq)
+            packet_records.setdefault(seq, []).append(rec)
+
+    packet_span_by_seq: dict[int, int] = {}
+    for seq in packet_order:
+        group = packet_records[seq]
+        start = group[0].time
+        end = group[-1].time
+        outcome = "in-flight"
+        hops = 0
+        for rec in group:
+            if rec.kind is TraceKind.PACKET_HOP:
+                hops += 1
+            elif rec.kind is TraceKind.PACKET_COPIED:
+                outcome = "delivered"
+            elif rec.kind is TraceKind.PACKET_DROPPED and outcome != "delivered":
+                outcome = f"dropped:{rec.detail.get('reason', '?')}"
+        origin = group[0].node
+        pspan = make(
+            None,
+            "packet",
+            f"packet #{seq}",
+            origin,
+            start,
+            end,
+            seq=seq,
+            outcome=outcome,
+            hops=hops,
+        )
+        packet_span_by_seq[seq] = pspan.sid
+        # Hop spans: each hop record is stamped at send time; the next
+        # sighting of the same seq is the arrival (copies of a packet
+        # share its seq, so for branching traffic this is a lower bound
+        # on the true flight time of an individual branch).
+        for i, rec in enumerate(group):
+            if rec.kind is not TraceKind.PACKET_HOP:
+                continue
+            arrival = next(
+                (later.time for later in group[i + 1:] if later.time >= rec.time),
+                rec.time,
+            )
+            link = rec.detail.get("link")
+            make(
+                pspan.sid,
+                "hop",
+                f"hop {rec.node}→{rec.detail.get('to', '?')}",
+                rec.node,
+                rec.time,
+                arrival,
+                link=link,
+                seq=seq,
+            )
+
+    # ------------------------------------------------------------------
+    # NCU job spans
+    # ------------------------------------------------------------------
+    open_jobs: dict[Any, TraceRecord] = {}
+    for rec in records:
+        if rec.kind is TraceKind.NCU_JOB_START:
+            open_jobs[rec.node] = rec
+        elif rec.kind is TraceKind.NCU_JOB_END:
+            start_rec = open_jobs.pop(rec.node, None)
+            if start_rec is None:
+                continue
+            job = start_rec.detail.get("job", "?")
+            seq = start_rec.detail.get("packet")
+            parent = packet_span_by_seq.get(seq) if seq is not None else None
+            make(
+                parent,
+                "ncu",
+                f"ncu:{job}",
+                rec.node,
+                start_rec.time,
+                rec.time,
+                job=job,
+                packet=seq,
+            )
+    for node, start_rec in open_jobs.items():
+        make(
+            None,
+            "ncu",
+            f"ncu:{start_rec.detail.get('job', '?')}",
+            node,
+            start_rec.time,
+            start_rec.time,
+            job=start_rec.detail.get("job", "?"),
+            unclosed=True,
+        )
+
+    # ------------------------------------------------------------------
+    # Protocol phase spans (begin/end convention on PROTOCOL_NOTE)
+    # ------------------------------------------------------------------
+    open_phases: dict[tuple[Any, str], TraceRecord] = {}
+    for rec in records:
+        if rec.kind is not TraceKind.PROTOCOL_NOTE:
+            continue
+        phase = rec.detail.get("phase")
+        mark = rec.detail.get("mark")
+        if phase is None or mark not in ("begin", "end"):
+            continue
+        key = (rec.node, phase)
+        if mark == "begin":
+            open_phases[key] = rec
+        else:
+            begin = open_phases.pop(key, None)
+            start = begin.time if begin is not None else rec.time
+            make(None, "phase", str(phase), rec.node, start, rec.time, phase=phase)
+    for (node, phase), rec in open_phases.items():
+        make(None, "phase", str(phase), node, rec.time, rec.time,
+             phase=phase, unclosed=True)
+
+    return spans
+
+
+def span_counts(spans: Iterable[Span]) -> dict[str, int]:
+    """Number of spans per category (categories with zero omitted)."""
+    counts: dict[str, int] = {}
+    for span in spans:
+        counts[span.category] = counts.get(span.category, 0) + 1
+    return counts
+
+
+def makespan(spans: Iterable[Span]) -> float:
+    """Distance from the earliest start to the latest end (0 if empty)."""
+    spans = list(spans)
+    if not spans:
+        return 0.0
+    return max(s.end for s in spans) - min(s.start for s in spans)
+
+
+def children_index(spans: Iterable[Span]) -> Mapping[int | None, list[Span]]:
+    """Group spans by parent sid (``None`` bucket holds the roots)."""
+    index: dict[int | None, list[Span]] = {}
+    for span in spans:
+        index.setdefault(span.parent, []).append(span)
+    return index

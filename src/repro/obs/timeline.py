@@ -1,0 +1,90 @@
+"""Plain-text timeline rendering of reconstructed spans.
+
+Same presentation philosophy as :mod:`repro.metrics.report`: fixed
+width, dependency-free, directly quotable in docs.  Each span is one
+table row whose last column is a bar positioned on a shared time axis,
+so a run reads as a Gantt chart in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..metrics.report import format_table
+from .spans import Span, span_counts
+
+#: Rendering order and glyph per category.
+_GLYPHS = {"packet": "=", "hop": "-", "ncu": "#", "phase": "~"}
+
+
+def render_timeline(
+    spans: Iterable[Span],
+    *,
+    width: int = 56,
+    categories: Sequence[str] = ("packet", "ncu", "phase"),
+    limit: int | None = 40,
+    title: str | None = None,
+) -> str:
+    """Render spans as a fixed-width text Gantt chart.
+
+    ``width`` is the number of character cells the full simulated time
+    range maps onto; ``categories`` filters which span kinds get rows
+    (hops are noisy, so they are off by default); ``limit`` truncates
+    the table (a trailing note says how many rows were dropped).
+    """
+    chosen = [s for s in spans if s.category in categories]
+    chosen.sort(key=lambda s: (s.start, s.end, repr(s.node)))
+    if not chosen:
+        return "(no spans in the selected categories)"
+
+    t0 = min(s.start for s in chosen)
+    t1 = max(s.end for s in chosen)
+    extent = max(t1 - t0, 1e-12)
+
+    dropped = 0
+    if limit is not None and len(chosen) > limit:
+        dropped = len(chosen) - limit
+        chosen = chosen[:limit]
+
+    def bar(span: Span) -> str:
+        offset = int((span.start - t0) / extent * (width - 1))
+        length = max(1, round(span.duration / extent * width))
+        length = min(length, width - offset)
+        glyph = _GLYPHS.get(span.category, "#")
+        return " " * offset + glyph * length + " " * (width - offset - length)
+
+    rows = [
+        [span.category, span.name, span.node, span.start, span.end, bar(span)]
+        for span in chosen
+    ]
+    axis = f"t=[{t0:g}..{t1:g}]"
+    out = format_table(
+        ["cat", "span", "node", "start", "end", axis],
+        rows,
+        title=title,
+    )
+    if dropped:
+        out += f"\n... {dropped} more spans not shown"
+    return out
+
+
+def span_summary_table(spans: Iterable[Span], *, title: str | None = None) -> str:
+    """Per-category span counts and busy totals, as a text table."""
+    spans = list(spans)
+    counts = span_counts(spans)
+    rows: list[list[Any]] = []
+    for category in sorted(counts):
+        members = [s for s in spans if s.category == category]
+        rows.append(
+            [
+                category,
+                counts[category],
+                sum(s.duration for s in members),
+                max((s.duration for s in members), default=0.0),
+            ]
+        )
+    return format_table(
+        ["category", "spans", "total_duration", "max_duration"],
+        rows,
+        title=title,
+    )

@@ -44,6 +44,10 @@ class Event:
         Free-form label used by traces and tests.
     cancelled:
         Cancelled events stay in the heap but are skipped when popped.
+    on_cancel:
+        Optional callback invoked the first time :meth:`cancel` takes
+        effect.  The owning scheduler uses it to keep its live-event
+        count exact without scanning the heap.
     """
 
     time: float
@@ -52,7 +56,12 @@ class Event:
     action: Callable[[], None] = field(compare=False, default=lambda: None)
     tag: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    on_cancel: Callable[[], None] | None = field(compare=False, default=None)
 
     def cancel(self) -> None:
         """Mark the event so the scheduler drops it instead of firing it."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.on_cancel is not None:
+            self.on_cancel()

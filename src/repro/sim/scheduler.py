@@ -21,6 +21,9 @@ from typing import Callable, Iterator
 from .errors import SimulationError
 from .events import Event
 
+#: Signature of a scheduler observer: called with each event just fired.
+Observer = Callable[[Event], None]
+
 
 class Scheduler:
     """Priority-queue driven simulation loop."""
@@ -30,6 +33,16 @@ class Scheduler:
         self._now: float = 0.0
         self._events_processed: int = 0
         self._running = False
+        #: Cancelled events still sitting in the heap.  Maintained via
+        #: the events' ``on_cancel`` callback so :attr:`pending_live`
+        #: is O(1) instead of a heap scan.
+        self._cancelled_pending = 0
+        #: The bound callback handed to every event, created once —
+        #: binding it per schedule() call would dominate the hook cost.
+        self._note_cancelled_cb = self._note_cancelled
+        #: Observability subscribers (empty tuple = disabled; the run
+        #: loop's only cost then is one truthiness check per event).
+        self._observers: tuple[Observer, ...] = ()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -48,6 +61,38 @@ class Scheduler:
     def pending(self) -> int:
         """Number of events still in the queue (including cancelled ones)."""
         return len(self._queue)
+
+    @property
+    def pending_live(self) -> int:
+        """Number of non-cancelled events still in the queue.
+
+        O(1): cancelled-but-queued events are counted as they are
+        cancelled, not by scanning the heap.  This is the depth metric
+        observability samples — cancelled timers must not inflate it.
+        """
+        return len(self._queue) - self._cancelled_pending
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def add_observer(self, observer: Observer) -> None:
+        """Subscribe a callable invoked after every fired event.
+
+        Observers registered mid-run take effect from the next
+        :meth:`run` / :meth:`step` call (the run loop snapshots the
+        subscriber list once, keeping the disabled path no-op cheap).
+        """
+        if observer not in self._observers:
+            self._observers = self._observers + (observer,)
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Unsubscribe a previously added observer (idempotent).
+
+        Matches by equality, not identity: bound methods are recreated
+        on every attribute access, so ``remove_observer(obj.hook)`` must
+        still find the subscription made with ``add_observer(obj.hook)``.
+        """
+        self._observers = tuple(o for o in self._observers if o != observer)
 
     def peek_time(self) -> float | None:
         """Firing time of the next live event, or ``None`` if quiescent."""
@@ -75,7 +120,13 @@ class Scheduler:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(time=self._now + delay, priority=priority, action=action, tag=tag)
+        event = Event(
+            time=self._now + delay,
+            priority=priority,
+            action=action,
+            tag=tag,
+            on_cancel=self._note_cancelled_cb,
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -92,7 +143,13 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        event = Event(time=time, priority=priority, action=action, tag=tag)
+        event = Event(
+            time=time,
+            priority=priority,
+            action=action,
+            tag=tag,
+            on_cancel=self._note_cancelled_cb,
+        )
         heapq.heappush(self._queue, event)
         return event
 
@@ -127,19 +184,32 @@ class Scheduler:
             raise SimulationError("scheduler is already running (re-entrant run)")
         self._running = True
         fired = 0
+        # Hot-loop locals: attribute loads dominate a loop this tight,
+        # and hoisting them pays for the observability checks below.
+        observers = self._observers
+        queue = self._queue
+        pop = heapq.heappop
         try:
             while True:
-                self._drop_cancelled()
-                if not self._queue:
+                while queue and queue[0].cancelled:
+                    pop(queue)
+                    self._cancelled_pending -= 1
+                if not queue:
                     break
-                event = self._queue[0]
+                event = queue[0]
                 if until is not None and event.time > until:
                     self._now = max(self._now, until)
                     break
-                heapq.heappop(self._queue)
+                pop(queue)
+                # A late cancel() on an already-fired event must not
+                # skew the live count.
+                event.on_cancel = None
                 self._now = event.time
                 event.action()
                 self._events_processed += 1
+                if observers:
+                    for observer in observers:
+                        observer(event)
                 fired += 1
                 if max_events is not None and fired >= max_events:
                     raise SimulationError(
@@ -158,9 +228,13 @@ class Scheduler:
         if not self._queue:
             return False
         event = heapq.heappop(self._queue)
+        event.on_cancel = None
         self._now = event.time
         event.action()
         self._events_processed += 1
+        if self._observers:
+            for observer in self._observers:
+                observer(event)
         return True
 
     def iter_steps(self) -> Iterator[float]:
@@ -171,6 +245,10 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled_pending += 1
+
     def _drop_cancelled(self) -> None:
         while self._queue and self._queue[0].cancelled:
             heapq.heappop(self._queue)
+            self._cancelled_pending -= 1

@@ -1,0 +1,110 @@
+"""CLI-level tests for the observability flags and the observe command."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+from repro.obs import RunManifest, records_from_jsonl
+from repro.sim import TraceKind
+
+
+def test_broadcast_chrome_trace_spans_match_reported_total(tmp_path, capsys):
+    out_path = tmp_path / "t.json"
+    assert main([
+        "broadcast", "--topology", "grid:8,8", "--compare",
+        "--chrome-trace", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out_path.read_text())
+    ncu_spans = [
+        e for e in doc["traceEvents"] if e.get("ph") == "X" and e.get("cat") == "ncu"
+    ]
+    assert f"{len(ncu_spans)} ncu-job spans = {len(ncu_spans)} system calls" in out
+    # A manifest lands next to the trace and agrees with it.
+    manifest = RunManifest.load(tmp_path / "t.manifest.json")
+    assert manifest.command == "broadcast"
+    assert manifest.system_calls == len(ncu_spans)
+    assert manifest.topology == "grid:8,8"
+
+
+def test_broadcast_trace_out_round_trips(tmp_path, capsys):
+    out_path = tmp_path / "t.jsonl"
+    assert main([
+        "broadcast", "--topology", "ring:8", "--trace-out", str(out_path),
+    ]) == 0
+    records = records_from_jsonl(out_path)
+    assert records, "trace export must not be empty"
+    assert any(r.kind is TraceKind.NCU_JOB_START for r in records)
+
+
+def test_broadcast_stats_prints_tables(capsys):
+    assert main(["broadcast", "--topology", "ring:8", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "live run statistics" in out
+    assert "queue depth" in out
+
+
+def test_broadcast_without_obs_flags_prints_no_obs_output(capsys):
+    assert main(["broadcast", "--topology", "ring:8"]) == 0
+    out = capsys.readouterr().out
+    assert "trace written" not in out
+    assert "manifest" not in out
+
+
+def test_election_stats(capsys):
+    assert main(["election", "--topology", "ring:8", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "leader election" in out
+    assert "live run statistics" in out
+
+
+def test_converge_manifest_out(tmp_path, capsys):
+    path = tmp_path / "m.json"
+    assert main([
+        "converge", "--topology", "grid:3,3", "--manifest-out", str(path),
+    ]) == 0
+    manifest = RunManifest.load(path)
+    assert manifest.command == "converge"
+    assert manifest.extra["strategy"] == "bpaths"
+
+
+def test_observe_broadcast_timeline(capsys):
+    assert main(["observe", "--topology", "grid:3,3", "--limit", "8"]) == 0
+    out = capsys.readouterr().out
+    assert "reconstructed spans" in out
+    assert "timeline" in out
+    assert "ncu:start" in out
+
+
+def test_observe_election(capsys):
+    assert main([
+        "observe", "--topology", "ring:6", "--workload", "election",
+        "--no-timeline",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "election on ring:6" in out
+    assert "reconstructed spans" in out
+    assert "timeline" not in out
+
+
+def test_observe_with_exports(tmp_path, capsys):
+    trace_path = tmp_path / "obs.jsonl"
+    chrome_path = tmp_path / "obs.json"
+    assert main([
+        "observe", "--topology", "ring:8", "--stats",
+        "--trace-out", str(trace_path), "--chrome-trace", str(chrome_path),
+    ]) == 0
+    assert trace_path.exists() and chrome_path.exists()
+    assert (tmp_path / "obs.manifest.json").exists()
+
+
+def test_observe_trace_capacity_reports_drops(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    assert main([
+        "observe", "--topology", "grid:4,4", "--trace-capacity", "10",
+        "--trace-out", str(trace_path), "--no-timeline",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "dropped" in out
+    assert len(records_from_jsonl(trace_path)) == 10

@@ -157,3 +157,88 @@ def test_iter_steps_yields_times():
     sched.schedule(1.0, lambda: None)
     sched.schedule(2.5, lambda: None)
     assert list(sched.iter_steps()) == [1.0, 2.5]
+
+
+# ----------------------------------------------------------------------
+# Live-event accounting and observers (observability layer)
+# ----------------------------------------------------------------------
+def test_pending_live_excludes_cancelled():
+    sched = Scheduler()
+    keep = [sched.schedule(1.0, lambda: None) for _ in range(3)]
+    doomed = [sched.schedule(2.0, lambda: None) for _ in range(2)]
+    for event in doomed:
+        event.cancel()
+    assert sched.pending == 5  # cancelled events still occupy the heap
+    assert sched.pending_live == 3
+    keep[0].cancel()
+    keep[0].cancel()  # double cancel must not double count
+    assert sched.pending_live == 2
+
+
+def test_pending_live_drains_to_zero():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    sched.run()
+    assert sched.pending == 0
+    assert sched.pending_live == 0
+
+
+def test_pending_live_unaffected_by_late_cancel_of_fired_event():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.run()
+    event.cancel()  # already fired: must not skew the live count
+    sched.schedule(1.0, lambda: None)
+    assert sched.pending_live == 1
+
+
+def test_pending_live_with_peek_after_cancel():
+    sched = Scheduler()
+    event = sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    event.cancel()
+    assert sched.peek_time() == 2.0  # drops the cancelled head
+    assert sched.pending == sched.pending_live == 1
+
+
+def test_observers_see_every_fired_event():
+    sched = Scheduler()
+    seen = []
+    sched.add_observer(lambda event: seen.append(event.time))
+    sched.schedule(1.0, lambda: None)
+    sched.schedule(2.0, lambda: None)
+    sched.run()
+    assert seen == [1.0, 2.0]
+
+
+def test_observer_fires_in_step_mode_and_removal_is_idempotent():
+    sched = Scheduler()
+    seen = []
+
+    def observer(event):
+        seen.append(event.tag)
+
+    sched.add_observer(observer)
+    sched.add_observer(observer)  # duplicate subscription is a no-op
+    sched.schedule(1.0, lambda: None, tag="a")
+    sched.step()
+    assert seen == ["a"]
+    sched.remove_observer(observer)
+    sched.remove_observer(observer)
+    sched.schedule(1.0, lambda: None, tag="b")
+    sched.step()
+    assert seen == ["a"]
+
+
+def test_observer_exceptions_propagate():
+    sched = Scheduler()
+
+    def bad(event):
+        raise RuntimeError("observer blew up")
+
+    sched.add_observer(bad)
+    sched.schedule(1.0, lambda: None)
+    with pytest.raises(RuntimeError, match="observer blew up"):
+        sched.run()
