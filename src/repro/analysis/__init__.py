@@ -4,6 +4,7 @@ from .closed_forms import (
     binomial_size,
     broadcast_system_calls,
     broadcast_time_bound,
+    broadcast_time_bound_general,
     election_message_bound,
     fibonacci_closed_form,
     flooding_system_calls_bounds,
@@ -69,6 +70,7 @@ __all__ = [
     "binomial_size",
     "broadcast_system_calls",
     "broadcast_time_bound",
+    "broadcast_time_bound_general",
     "election_message_bound",
     "fibonacci_closed_form",
     "flooding_system_calls_bounds",

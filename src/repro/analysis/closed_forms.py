@@ -29,6 +29,20 @@ def broadcast_time_bound(n: int) -> int:
     return 1 + (n.bit_length() - 1)
 
 
+def broadcast_time_bound_general(n: int, P: Number = 1, C: Number = 0) -> float:
+    """Theorem 2's time bound for general ``(C, P)``.
+
+    Each of the ``<= 1 + floor(log2 n)`` chained involvements costs P,
+    and a packet traverses at most ``n - 1`` links, each costing C:
+    ``(1 + floor(log2 n)) * P + (n - 1) * C``.  Reduces to
+    :func:`broadcast_time_bound` in the limiting model (C=0, P=1).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    depth = Fraction(broadcast_time_bound(n))
+    return float(depth * _frac(P) + (n - 1) * _frac(C))
+
+
 def broadcast_system_calls(n: int) -> int:
     """Branching-paths broadcast: exactly n NCU involvements.
 

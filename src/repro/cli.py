@@ -10,6 +10,8 @@ Examples::
     python -m repro lowerbound --max-depth 10
     python -m repro multicast --topology random:64,1 --messages 5
     python -m repro observe   --topology grid:8,8 --workload broadcast --stats
+    python -m repro election  --topology ring:32 --monitor budgets,watchdog
+    python -m repro bench --compare benchmarks/baselines/BENCH_election_ring.json
 
 All commands print the same row formats the benchmarks use, so shell
 runs and `pytest benchmarks/` outputs are directly comparable.
@@ -20,6 +22,13 @@ command accepts ``--trace-out`` (JSONL records), ``--chrome-trace``
 ``--manifest-out``; any export also writes a run manifest recording the
 seed, topology, ``(C, P)`` and git revision.  With ``--compare`` the
 exports cover the ``--scheme`` run.
+
+Conformance monitoring: ``--monitor budgets,invariants,watchdog`` (or
+``--monitor all``) attaches online monitors that flag theorem-budget
+breaches, invariant violations and stalls *while the run executes*;
+any violation makes the command exit non-zero.  ``repro bench`` runs
+the telemetry suite, writes ``BENCH_<name>.json`` documents, and
+``--compare`` gates them against a baseline.
 """
 
 from __future__ import annotations
@@ -71,6 +80,7 @@ def _obs_requested(args: argparse.Namespace) -> bool:
         or getattr(args, "chrome_trace", None)
         or getattr(args, "stats", False)
         or getattr(args, "manifest_out", None)
+        or getattr(args, "monitor", None)
     )
 
 
@@ -98,6 +108,64 @@ def _obs_net(args: argparse.Namespace, *, observed: bool = True):
 
         stats = LiveStats().install(net)
     return net, stats
+
+
+def _monitor_spec(value: str) -> str:
+    """argparse type for ``--monitor``: validate names at parse time."""
+    from .obs import MONITOR_NAMES
+
+    names = {part.strip() for part in value.split(",") if part.strip()}
+    unknown = sorted(names - set(MONITOR_NAMES) - {"all"})
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown monitor(s) {', '.join(unknown)}; choose from "
+            f"{', '.join(MONITOR_NAMES)} or 'all'"
+        )
+    return value
+
+
+def _attach_monitors(
+    args: argparse.Namespace, net, *, command: str, scheme: str | None = None
+):
+    """Install the requested conformance monitors on ``net``.
+
+    Returns the installed :class:`~repro.obs.monitors.MonitorHost` or
+    ``None`` when ``--monitor`` was not given.  Alerts are announced
+    the moment they fire, so a breached budget is visible *before* the
+    run's summary table.
+    """
+    spec = getattr(args, "monitor", None)
+    if not spec:
+        return None
+    from .obs import MonitorHost, monitors_from_spec
+
+    monitors, notes = monitors_from_spec(net, spec, command=command, scheme=scheme)
+    for note in notes:
+        print(note)
+
+    def announce(alert) -> None:
+        print(f"ALERT [{alert.monitor}] t={alert.time:g}: {alert.message}")
+
+    return MonitorHost(net, monitors, on_alert=announce).install()
+
+
+def _finish_monitors(host) -> int:
+    """Finish + render monitors; exit code 1 if any violation fired."""
+    if host is None:
+        return 0
+    from .obs import render_alerts
+
+    alerts = host.finish()
+    print()
+    print(render_alerts(alerts))
+    return 1 if host.violations else 0
+
+
+def _monitor_extra(host) -> dict:
+    """Manifest ``extra`` entries summarising a monitored run."""
+    if host is None:
+        return {}
+    return {"alerts": len(host.alerts), "violations": len(host.violations)}
 
 
 def _obs_finish(
@@ -159,12 +227,13 @@ def cmd_broadcast(args: argparse.Namespace) -> int:
         print()
     schemes = BROADCAST_SCHEMES if args.compare else (args.scheme,)
     rows = []
-    observed_net, observed_stats = None, None
+    observed_net, observed_stats, host = None, None, None
     for scheme in schemes:
         observed = _obs_requested(args) and scheme == args.scheme
         net, stats = _obs_net(args, observed=observed)
         if observed:
             observed_net, observed_stats = net, stats
+            host = _attach_monitors(args, net, command="broadcast", scheme=scheme)
         adjacency = net.adjacency()
         factories = {
             "bpaths": lambda api: BranchingPathsBroadcast(
@@ -189,11 +258,13 @@ def cmd_broadcast(args: argparse.Namespace) -> int:
         title=f"broadcast from node {args.root} on {args.topology} "
               f"(C={args.C}, P={args.P})",
     ))
+    code = _finish_monitors(host)
     _obs_finish(
         args, observed_net, observed_stats,
         command="broadcast", scheme=args.scheme, root=args.root,
+        **_monitor_extra(host),
     )
-    return 0
+    return code
 
 
 def cmd_election(args: argparse.Namespace) -> int:
@@ -205,13 +276,14 @@ def cmd_election(args: argparse.Namespace) -> int:
             ("Hirschberg-Sinclair", lambda api: HirschbergSinclair(api)),
         ]
     rows = []
-    observed_net, observed_stats = None, None
+    observed_net, observed_stats, host = None, None, None
     for name, factory in contenders:
         # Exports cover the paper's algorithm (the first contender).
         observed = _obs_requested(args) and name == contenders[0][0]
         net, stats = _obs_net(args, observed=observed)
         if observed:
             observed_net, observed_stats = net, stats
+            host = _attach_monitors(args, net, command="election")
         if args.baselines and name != contenders[0][0] and not _is_ring(net):
             rows.append([name, net.n, "-", "-", "-", "(needs a ring)"])
             continue
@@ -232,11 +304,13 @@ def cmd_election(args: argparse.Namespace) -> int:
         title=f"leader election on {args.topology} "
               f"(Theorem 5 bound: 6n = {6 * rows[0][1]})",
     ))
+    code = _finish_monitors(host)
     _obs_finish(
         args, observed_net, observed_stats,
         command="election", starters=args.starters,
+        **_monitor_extra(host),
     )
-    return 0
+    return code
 
 
 def _is_ring(net) -> bool:
@@ -245,6 +319,7 @@ def _is_ring(net) -> bool:
 
 def cmd_converge(args: argparse.Namespace) -> int:
     net, stats = _obs_net(args)
+    host = _attach_monitors(args, net, command="converge")
     attach_topology_maintenance(net, strategy=args.strategy, scope=args.scope)
     rows = []
     result = converge_by_rounds(net, max_rounds=args.max_rounds)
@@ -263,12 +338,13 @@ def cmd_converge(args: argparse.Namespace) -> int:
         title=f"topology maintenance on {args.topology} "
               f"(strategy={args.strategy}, scope={args.scope})",
     ))
+    code = _finish_monitors(host)
     _obs_finish(
         args, net, stats,
         command="converge", strategy=args.strategy, scope=args.scope,
-        failures=args.fail,
+        failures=args.fail, **_monitor_extra(host),
     )
-    return 0
+    return code
 
 
 def cmd_globalfn(args: argparse.Namespace) -> int:
@@ -314,28 +390,57 @@ def cmd_lowerbound(args: argparse.Namespace) -> int:
 
 def cmd_multicast(args: argparse.Namespace) -> int:
     net, stats = _obs_net(args)
+    host = _attach_monitors(args, net, command="multicast")
     run = run_group_multicast(net, args.root, bodies=list(range(args.messages)))
     print(f"hardware multicast group on {args.topology}:")
     print(f"  setup: {run.setup_calls} system calls, {run.setup_time} time")
     print(f"  per message: {run.per_message_calls[0] if run.per_message_calls else '-'} "
           f"system calls, {run.per_message_time[0] if run.per_message_time else '-'} time")
     print(f"  coverage: {run.coverage}/{net.n - 1} non-root nodes")
+    code = _finish_monitors(host)
     _obs_finish(
         args, net, stats,
         command="multicast", root=args.root, messages=args.messages,
+        **_monitor_extra(host),
     )
-    return 0
+    return code
 
 
 def cmd_observe(args: argparse.Namespace) -> int:
     """Run one workload fully instrumented and render its timeline."""
     from .obs import LiveStats, build_spans, render_timeline, span_summary_table
 
+    if args.from_trace:
+        from .obs import TraceLoadError, records_from_jsonl
+
+        try:
+            records = records_from_jsonl(args.from_trace)
+        except TraceLoadError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        spans = build_spans(records)
+        print(f"loaded {len(records)} trace records from {args.from_trace}")
+        print()
+        print(span_summary_table(spans, title="reconstructed spans"))
+        if args.timeline:
+            print()
+            print(render_timeline(
+                spans,
+                width=args.timeline_width,
+                limit=args.limit,
+                title=f"timeline ({args.from_trace})",
+            ))
+        return 0
+
     net = _net(
         args.topology, args.C, args.P,
         trace=True, trace_capacity=args.trace_capacity,
     )
     stats = LiveStats().install(net) if args.stats else None
+    host = _attach_monitors(
+        args, net, command=args.workload,
+        scheme=args.scheme if args.workload == "broadcast" else None,
+    )
     if args.workload == "broadcast":
         adjacency = net.adjacency()
         factories = {
@@ -377,12 +482,105 @@ def cmd_observe(args: argparse.Namespace) -> int:
             limit=args.limit,
             title=f"timeline ({args.workload} on {args.topology})",
         ))
+    code = _finish_monitors(host)
     _obs_finish(
         args, net, stats,
         command="observe", workload=args.workload,
         scheme=args.scheme if args.workload == "broadcast" else None,
+        **_monitor_extra(host),
     )
-    return 0
+    return code
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the telemetry suite; write/compare ``BENCH_*.json``."""
+    from .obs import (
+        BENCHMARKS,
+        benchmark_names,
+        compare_documents,
+        load_bench_document,
+        regressions,
+        render_comparison,
+        render_metrics,
+        run_benchmark,
+        write_bench_document,
+    )
+
+    if args.list:
+        for bench in BENCHMARKS:
+            print(f"{bench.name:18} {bench.description}")
+        return 0
+
+    thresholds: dict[str, float] = {}
+    for spec in args.threshold or ():
+        metric, sep, value = spec.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            thresholds[metric.strip()] = float(value)
+        except ValueError:
+            print(f"error: bad --threshold {spec!r} (use METRIC=RATIO)",
+                  file=sys.stderr)
+            return 2
+
+    docs: dict[str, dict] = {}
+    if args.replay:
+        for path in args.replay:
+            try:
+                doc = load_bench_document(path)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            docs[doc["bench"]] = doc
+            print(f"replayed {doc['bench']} from {path}")
+    else:
+        if args.name:
+            names = [part.strip() for part in args.name.split(",") if part.strip()]
+        else:
+            names = list(benchmark_names())
+        for name in names:
+            try:
+                doc = run_benchmark(name)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            docs[name] = doc
+            path = write_bench_document(doc, args.out_dir)
+            print(render_metrics(doc, title=f"{name}: {doc['description']}"))
+            print(f"written to {path}")
+            print()
+
+    exit_code = 0
+    for baseline_path in args.compare or ():
+        try:
+            baseline = load_bench_document(baseline_path)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        name = baseline["bench"]
+        current = docs.get(name)
+        if current is None:
+            print(
+                f"error: baseline {baseline_path} is for benchmark {name!r}, "
+                "which was not run/replayed",
+                file=sys.stderr,
+            )
+            return 2
+        comparisons = compare_documents(current, baseline, thresholds)
+        print(render_comparison(
+            comparisons, title=f"{name}: current vs {baseline_path}"
+        ))
+        print()
+        for c in regressions(comparisons):
+            direction = "below" if c.higher_is_better else "above"
+            print(
+                f"REGRESSION: {name}.{c.metric} = {c.current:g} is {direction} "
+                f"threshold ({c.ratio:.3f}x baseline {c.baseline:g}, "
+                f"allowed {c.threshold:g})",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    return exit_code
 
 
 # ----------------------------------------------------------------------
@@ -425,6 +623,11 @@ def build_parser() -> argparse.ArgumentParser:
         obs.add_argument("--trace-capacity", type=int, default=None, metavar="N",
                          help="cap retained trace records (excess is counted, "
                               "not stored)")
+        obs.add_argument("--monitor", type=_monitor_spec, default=None,
+                         metavar="LIST",
+                         help="comma list of online conformance monitors "
+                              "(budgets, invariants, watchdog, or 'all'); "
+                              "violations make the command exit non-zero")
 
     p = sub.add_parser("broadcast", help="one topology broadcast (E1/E2)")
     common(p)
@@ -493,7 +696,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--timeline-width", type=int, default=56)
     p.add_argument("--limit", type=int, default=40,
                    help="max timeline rows (default %(default)s)")
+    p.add_argument("--from-trace", metavar="PATH", default=None,
+                   help="skip simulating: rebuild spans from a JSONL trace "
+                        "written with --trace-out")
     p.set_defaults(func=cmd_observe)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark telemetry suite, write BENCH_*.json, "
+             "gate regressions",
+    )
+    p.add_argument("--name", default=None, metavar="LIST",
+                   help="comma list of benchmarks (default: all; see --list)")
+    p.add_argument("--out-dir", default=".", metavar="DIR",
+                   help="where BENCH_<name>.json documents go "
+                        "(default: current directory)")
+    p.add_argument("--compare", action="append", metavar="BASELINE",
+                   help="baseline BENCH_*.json to gate against (repeatable); "
+                        "any threshold breach exits 1")
+    p.add_argument("--replay", action="append", metavar="CURRENT",
+                   help="compare saved documents instead of re-running "
+                        "(repeatable)")
+    p.add_argument("--threshold", action="append", metavar="METRIC=RATIO",
+                   help="allowed current/baseline ratio for one metric "
+                        "(repeatable; default 1.0, wall_ms 2.0, "
+                        "events_per_sec 0.5)")
+    p.add_argument("--list", action="store_true",
+                   help="list registered benchmarks and exit")
+    p.set_defaults(func=cmd_bench)
 
     return parser
 

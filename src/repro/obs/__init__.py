@@ -7,7 +7,22 @@ touching the hot path (whose only concession is one ``is not None``
 check per hook site — see ``benchmarks/bench_obs_overhead.py``).
 """
 
+from .bench import (
+    BENCHMARKS,
+    Benchmark,
+    MetricComparison,
+    bench_path,
+    benchmark_names,
+    compare_documents,
+    load_bench_document,
+    regressions,
+    render_comparison,
+    render_metrics,
+    run_benchmark,
+    write_bench_document,
+)
 from .exporters import (
+    TraceLoadError,
     chrome_trace_document,
     record_from_dict,
     record_to_dict,
@@ -17,25 +32,66 @@ from .exporters import (
 )
 from .live import Histogram, LiveStats
 from .manifest import RunManifest, git_revision
+from .monitors import (
+    MONITOR_NAMES,
+    Alert,
+    Budget,
+    BudgetMonitor,
+    InvariantMonitor,
+    Monitor,
+    MonitorHost,
+    ProgressWatchdog,
+    broadcast_budgets,
+    budgets_for,
+    election_budgets,
+    monitors_from_spec,
+    render_alerts,
+)
 from .spans import Span, build_spans, children_index, makespan, span_counts
 from .timeline import render_timeline, span_summary_table
 
 __all__ = [
+    "Alert",
+    "BENCHMARKS",
+    "Benchmark",
+    "Budget",
+    "BudgetMonitor",
     "Histogram",
+    "InvariantMonitor",
     "LiveStats",
+    "MONITOR_NAMES",
+    "MetricComparison",
+    "Monitor",
+    "MonitorHost",
+    "ProgressWatchdog",
     "RunManifest",
     "Span",
+    "TraceLoadError",
+    "bench_path",
+    "benchmark_names",
+    "broadcast_budgets",
+    "budgets_for",
     "build_spans",
     "children_index",
     "chrome_trace_document",
+    "compare_documents",
+    "election_budgets",
     "git_revision",
+    "load_bench_document",
     "makespan",
+    "monitors_from_spec",
     "record_from_dict",
     "record_to_dict",
     "records_from_jsonl",
     "records_to_jsonl",
+    "regressions",
+    "render_alerts",
+    "render_comparison",
+    "render_metrics",
     "render_timeline",
+    "run_benchmark",
     "span_counts",
     "span_summary_table",
+    "write_bench_document",
     "write_chrome_trace",
 ]

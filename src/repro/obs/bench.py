@@ -1,0 +1,360 @@
+"""Benchmark telemetry: named benchmarks, ``BENCH_*.json``, regression gates.
+
+The repo's claims are quantitative, so its performance trajectory
+should be too.  This module gives the ``repro bench`` subcommand its
+machinery:
+
+* a small registry of named :class:`Benchmark`\\s, each a deterministic
+  workload that reports a metric dict (simulation counters, which are
+  machine-independent, plus ``wall_ms`` / ``events_per_sec``, which are
+  not);
+* :func:`run_benchmark` → a JSON document pairing the metrics with a
+  full :class:`~repro.obs.manifest.RunManifest` (seed, topology,
+  ``(C, P)``, git revision, interpreter), written as
+  ``BENCH_<name>.json`` so a number on disk months later still says
+  what produced it;
+* :func:`compare_documents` — the regression gate: current vs baseline
+  per metric, with a threshold ratio per metric and a direction
+  (``events_per_sec`` is better *higher*; everything else better
+  lower).  CI runs it against committed baselines and fails on breach.
+
+Determinism note: all simulation metrics (system calls, hops, events,
+sim time) are exactly reproducible, so their default threshold is
+"no increase at all".  Wall-clock metrics get loose defaults; CI
+loosens them further because the baseline was produced elsewhere.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from ..metrics.report import format_table
+from .manifest import RunManifest
+
+#: Metrics where a *drop* (ratio below threshold) is the regression.
+HIGHER_IS_BETTER = frozenset({"events_per_sec"})
+
+#: Default allowed current/baseline ratio per metric.  Deterministic
+#: counters fall back to 1.0 (any increase regresses); wall-clock noise
+#: gets headroom.
+DEFAULT_THRESHOLDS: dict[str, float] = {
+    "wall_ms": 2.0,
+    "events_per_sec": 0.5,
+}
+
+#: Tolerance on the ratio comparison (floats in, floats out).
+_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One named benchmark: a zero-argument workload returning
+    ``(metrics, manifest)``."""
+
+    name: str
+    description: str
+    run: Callable[[], tuple[dict[str, float], RunManifest]]
+
+
+def _timed(net, drive: Callable[[], None]) -> dict[str, float]:
+    """Run ``drive`` and return the shared metric block for ``net``."""
+    t0 = time.perf_counter()
+    drive()
+    wall = time.perf_counter() - t0
+    events = net.scheduler.events_processed
+    return {
+        "system_calls": float(net.metrics.system_calls),
+        "hops": float(net.metrics.hops),
+        "sim_time": float(net.scheduler.now),
+        "events": float(events),
+        "wall_ms": wall * 1000.0,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def _bench_broadcast_grid() -> tuple[dict[str, float], RunManifest]:
+    """Theorem 2 workload: branching-paths broadcast on an 8×8 grid."""
+    from ..core import BranchingPathsBroadcast, run_standalone_broadcast
+    from ..network.builder import from_spec
+    from ..sim import FixedDelays
+
+    net = from_spec("grid:8,8", delays=FixedDelays(0.0, 1.0))
+    adjacency = net.adjacency()
+    holder: dict[str, Any] = {}
+
+    def drive() -> None:
+        holder["run"] = run_standalone_broadcast(
+            net,
+            lambda api: BranchingPathsBroadcast(
+                api, root=0, adjacency=adjacency, ids=net.id_lookup
+            ),
+            0,
+        )
+
+    metrics = _timed(net, drive)
+    metrics["completion_time"] = float(holder["run"].completion_time())
+    manifest = RunManifest.collect(
+        net, command="bench:broadcast_grid", topology="grid:8,8", C=0.0, P=1.0
+    )
+    return metrics, manifest
+
+
+def _bench_flood_random() -> tuple[dict[str, float], RunManifest]:
+    """Flooding's m..2m band on a random connected graph."""
+    from ..core import FloodingBroadcast, run_standalone_broadcast
+    from ..network.builder import from_spec
+    from ..sim import FixedDelays
+
+    net = from_spec("random:64,16", delays=FixedDelays(0.0, 1.0))
+
+    def drive() -> None:
+        run_standalone_broadcast(
+            net, lambda api: FloodingBroadcast(api, root=0), 0
+        )
+
+    metrics = _timed(net, drive)
+    manifest = RunManifest.collect(
+        net, command="bench:flood_random", topology="random:64,16", C=0.0, P=1.0
+    )
+    return metrics, manifest
+
+
+def _bench_election_ring() -> tuple[dict[str, float], RunManifest]:
+    """Theorem 5 workload: all-starters election on a 64-ring."""
+    from ..core import LeaderElection
+    from ..network.builder import from_spec
+    from ..sim import FixedDelays
+
+    net = from_spec("ring:64", delays=FixedDelays(0.0, 1.0))
+    net.attach(lambda api: LeaderElection(api))
+
+    def drive() -> None:
+        net.start()
+        net.run_to_quiescence(max_events=10_000_000)
+
+    metrics = _timed(net, drive)
+    snap = net.metrics.snapshot()
+    metrics["tour_return_calls"] = float(
+        snap.system_calls_by_kind.get("tour", 0)
+        + snap.system_calls_by_kind.get("return", 0)
+    )
+    manifest = RunManifest.collect(
+        net, command="bench:election_ring", topology="ring:64", C=0.0, P=1.0
+    )
+    return metrics, manifest
+
+
+def _bench_scheduler_churn() -> tuple[dict[str, float], RunManifest]:
+    """Raw event-loop throughput: timer chains, no packets.
+
+    The same shape as E16's workload, but run through a real network's
+    timer plumbing so the number tracks the production code path.
+    """
+    from ..network.builder import from_spec
+    from ..network.protocol import Protocol
+    from ..sim import FixedDelays
+
+    chains, per_chain = 16, 400
+
+    class Chain(Protocol):
+        def on_start(self, payload):
+            self.remaining = per_chain
+            self.api.set_timer(1.0, "tick", None)
+
+        def on_timer(self, tag, payload):
+            self.remaining -= 1
+            if self.remaining > 0:
+                self.api.set_timer(1.0, "tick", None)
+
+    net = from_spec("line:16", delays=FixedDelays(0.0, 1.0))
+    net.attach(lambda api: Chain(api))
+
+    def drive() -> None:
+        net.start(list(range(chains)))
+        net.run_to_quiescence(max_events=10_000_000)
+
+    metrics = _timed(net, drive)
+    manifest = RunManifest.collect(
+        net, command="bench:scheduler_churn", topology="line:16", C=0.0, P=1.0
+    )
+    return metrics, manifest
+
+
+#: The registry `repro bench` runs, in execution order.
+BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark("broadcast_grid", "bpaths broadcast, grid:8,8 (Thm 2 counters)",
+              _bench_broadcast_grid),
+    Benchmark("flood_random", "flooding broadcast, random:64,16",
+              _bench_flood_random),
+    Benchmark("election_ring", "all-starters election, ring:64 (Thm 5 counters)",
+              _bench_election_ring),
+    Benchmark("scheduler_churn", "timer-chain event-loop throughput",
+              _bench_scheduler_churn),
+)
+
+_BY_NAME = {bench.name: bench for bench in BENCHMARKS}
+
+
+def benchmark_names() -> tuple[str, ...]:
+    """Registered benchmark names, in execution order."""
+    return tuple(bench.name for bench in BENCHMARKS)
+
+
+def run_benchmark(name: str) -> dict[str, Any]:
+    """Run one registered benchmark; returns its JSON document.
+
+    The document is ``{"bench": name, "metrics": {...},
+    "manifest": {...}}`` — what ``BENCH_<name>.json`` holds on disk.
+    """
+    try:
+        bench = _BY_NAME[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown benchmark {name!r}; choose from "
+            f"{', '.join(benchmark_names())}"
+        ) from None
+    metrics, manifest = bench.run()
+    return {
+        "bench": bench.name,
+        "description": bench.description,
+        "metrics": metrics,
+        "manifest": manifest.to_dict(),
+    }
+
+
+def bench_path(name: str, directory: str | Path = ".") -> Path:
+    """Canonical on-disk location: ``<directory>/BENCH_<name>.json``."""
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+def write_bench_document(doc: Mapping[str, Any], directory: str | Path = ".") -> Path:
+    """Write one benchmark document to its canonical path."""
+    path = bench_path(doc["bench"], directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(dict(doc), indent=2, default=str) + "\n")
+    return path
+
+
+def load_bench_document(path: str | Path) -> dict[str, Any]:
+    """Load a document written by :func:`write_bench_document`.
+
+    Raises :class:`ValueError` with a one-line message on files that
+    are not benchmark documents.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as exc:
+        raise ValueError(f"cannot read benchmark file {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not valid JSON ({exc.msg})") from exc
+    if not isinstance(data, dict) or "bench" not in data or "metrics" not in data:
+        raise ValueError(f"{path}: not a benchmark document (missing bench/metrics)")
+    return data
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's regression verdict."""
+
+    metric: str
+    baseline: float
+    current: float
+    ratio: float
+    threshold: float
+    higher_is_better: bool
+    regressed: bool
+
+    @property
+    def status(self) -> str:
+        return "REGRESSION" if self.regressed else "ok"
+
+
+def compare_documents(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    thresholds: Mapping[str, float] | None = None,
+) -> list[MetricComparison]:
+    """Compare two benchmark documents metric by metric.
+
+    ``thresholds`` overrides :data:`DEFAULT_THRESHOLDS` per metric; the
+    threshold is the allowed ``current / baseline`` ratio (an upper
+    limit, or a lower limit for :data:`HIGHER_IS_BETTER` metrics).
+    Metrics present on only one side are skipped — a new metric is not
+    a regression.  Raises :class:`ValueError` when the documents are
+    for different benchmarks.
+    """
+    if current.get("bench") != baseline.get("bench"):
+        raise ValueError(
+            f"benchmark mismatch: current is {current.get('bench')!r}, "
+            f"baseline is {baseline.get('bench')!r}"
+        )
+    merged = dict(DEFAULT_THRESHOLDS)
+    if thresholds:
+        merged.update(thresholds)
+    out: list[MetricComparison] = []
+    base_metrics = baseline.get("metrics", {})
+    for metric, observed in current.get("metrics", {}).items():
+        if metric not in base_metrics:
+            continue
+        base = float(base_metrics[metric])
+        observed = float(observed)
+        higher = metric in HIGHER_IS_BETTER
+        threshold = merged.get(metric, 1.0)
+        if base == 0.0:
+            ratio = 1.0 if observed == 0.0 else float("inf")
+        else:
+            ratio = observed / base
+        if higher:
+            regressed = ratio < threshold - _EPSILON
+        else:
+            regressed = ratio > threshold + _EPSILON
+        out.append(
+            MetricComparison(
+                metric=metric,
+                baseline=base,
+                current=observed,
+                ratio=ratio,
+                threshold=threshold,
+                higher_is_better=higher,
+                regressed=regressed,
+            )
+        )
+    return out
+
+
+def regressions(comparisons: Iterable[MetricComparison]) -> list[MetricComparison]:
+    """The subset of comparisons that breached their threshold."""
+    return [c for c in comparisons if c.regressed]
+
+
+def render_comparison(
+    comparisons: Sequence[MetricComparison], *, title: str | None = None
+) -> str:
+    """Regression table in the repo's standard text style."""
+    rows = [
+        [
+            c.metric,
+            f"{c.baseline:g}",
+            f"{c.current:g}",
+            f"{c.ratio:.3f}",
+            f"{'>=' if c.higher_is_better else '<='} {c.threshold:g}",
+            c.status,
+        ]
+        for c in comparisons
+    ]
+    return format_table(
+        ["metric", "baseline", "current", "ratio", "allowed", "status"],
+        rows,
+        title=title,
+    )
+
+
+def render_metrics(doc: Mapping[str, Any], *, title: str | None = None) -> str:
+    """One benchmark's metric table."""
+    rows = [[metric, f"{value:g}"] for metric, value in doc["metrics"].items()]
+    return format_table(["metric", "value"], rows, title=title)

@@ -70,14 +70,44 @@ def records_to_jsonl(
     return path
 
 
+class TraceLoadError(Exception):
+    """A trace JSONL file is missing, truncated, or corrupt.
+
+    The message names the file and (when the problem is one bad line)
+    the 1-based line number — callers such as ``repro observe`` show it
+    as a one-liner instead of a traceback.
+    """
+
+
 def records_from_jsonl(path: str | Path) -> list[TraceRecord]:
-    """Load records written by :func:`records_to_jsonl`."""
+    """Load records written by :func:`records_to_jsonl`.
+
+    Raises :class:`TraceLoadError` (with the offending line number) on
+    unreadable files, malformed JSON — including a final line truncated
+    mid-write — and records missing required fields or carrying an
+    unknown ``kind``.
+    """
+    path = Path(path)
     records = []
-    with Path(path).open() as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(record_from_dict(json.loads(line)))
+    try:
+        with path.open() as handle:
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(record_from_dict(json.loads(line)))
+                except json.JSONDecodeError as exc:
+                    raise TraceLoadError(
+                        f"{path}:{lineno}: not valid JSON ({exc.msg}); "
+                        "the trace file is corrupt or was truncated mid-write"
+                    ) from exc
+                except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                    raise TraceLoadError(
+                        f"{path}:{lineno}: not a trace record ({exc!r})"
+                    ) from exc
+    except OSError as exc:
+        raise TraceLoadError(f"cannot read trace file {path}: {exc}") from exc
     return records
 
 

@@ -1,0 +1,525 @@
+"""Online conformance monitors: the paper's bounds, checked mid-run.
+
+Everything measured so far compared totals to the closed forms *after*
+a run finished.  Monitors turn the theorems into live tripwires: a
+:class:`MonitorHost` subscribes once to the scheduler observer hook
+(keeping the dormant path exactly as cheap as E16 requires — nothing
+here runs unless a host is installed) and gives each attached monitor
+one check per fired event.  A breach becomes a structured
+:class:`Alert` at the *first* event that crosses the bound, while the
+run is still in flight — not a post-hoc diff.
+
+Built-in monitors:
+
+* :class:`BudgetMonitor` — streams the metrics counters against
+  closed-form :class:`Budget`\\s (Theorem 2's ``n`` system calls and
+  ``1 + log2 n`` time for branching-paths broadcast, flooding's ``2m``
+  calls, Theorem 5's ``6n`` tour/return calls for election).
+* :class:`InvariantMonitor` — adapts
+  :class:`~repro.analysis.invariants.ElectionInvariantChecker` into the
+  framework with a configurable check cadence.
+* :class:`ProgressWatchdog` — quiescence / no-progress detection via
+  the scheduler's O(1) ``pending_live``: a simulated-time deadline, an
+  event-queue depth limit, and a stall detector for event churn that
+  makes no measurable progress.
+
+Alerts are recorded into the network's :class:`~repro.sim.trace.Trace`
+as :attr:`~repro.sim.trace.TraceKind.ALERT` records, so they flow
+through the existing JSONL / Chrome-trace exporters and render in the
+text timeline (``!`` marks) with no extra plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Sequence
+
+from ..analysis.closed_forms import (
+    broadcast_system_calls,
+    broadcast_time_bound_general,
+    election_message_bound,
+    flooding_system_calls_bounds,
+)
+from ..analysis.invariants import ElectionInvariantChecker
+from ..metrics.report import format_table
+from ..sim.errors import ProtocolError
+from ..sim.trace import TraceKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..network.network import Network
+    from ..sim.events import Event
+
+#: The monitor names the CLI's ``--monitor`` flag accepts.
+MONITOR_NAMES = ("budgets", "invariants", "watchdog")
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One structured conformance violation (or warning).
+
+    ``observed`` / ``bound`` are filled when the alert is a numeric
+    budget breach; ``event_index`` is the 1-based count of events the
+    host had seen when the alert fired (the breaching event).
+    """
+
+    time: float
+    monitor: str
+    message: str
+    severity: str = "violation"
+    measure: str | None = None
+    observed: float | None = None
+    bound: float | None = None
+    event_index: int | None = None
+
+
+class Monitor:
+    """Base class: one dormant-cheap check per fired event.
+
+    Subclasses override :meth:`check` (called by the host after every
+    event; return an iterable of alerts, empty when all is well) and
+    optionally :meth:`finish` (end-of-run checks).
+    """
+
+    name = "monitor"
+
+    def check(self, event: "Event") -> Iterable[Alert]:
+        """Inspect the network after one fired event."""
+        return ()
+
+    def finish(self) -> Iterable[Alert]:
+        """Final checks once the run is over."""
+        return ()
+
+
+class MonitorHost:
+    """Install monitors on a network; collect their alerts.
+
+    One host registers one scheduler observer for all its monitors, so
+    the per-event cost is one call plus each monitor's own check.
+    Alerts are appended to :attr:`alerts`, recorded into ``net.trace``
+    (a no-op when tracing is off), and forwarded to ``on_alert`` —
+    which is how the CLI prints breaches the moment they happen.
+    """
+
+    def __init__(
+        self,
+        net: "Network",
+        monitors: Iterable[Monitor],
+        *,
+        on_alert: Callable[[Alert], None] | None = None,
+    ) -> None:
+        self.net = net
+        self.monitors = list(monitors)
+        self.alerts: list[Alert] = []
+        self.on_alert = on_alert
+        self._installed = False
+        self._events = 0
+
+    def install(self) -> "MonitorHost":
+        """Subscribe to the scheduler; returns self (idempotent)."""
+        if not self._installed:
+            self.net.scheduler.add_observer(self._on_event)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Unsubscribe from the scheduler (idempotent)."""
+        if self._installed:
+            self.net.scheduler.remove_observer(self._on_event)
+            self._installed = False
+
+    def _on_event(self, event: "Event") -> None:
+        self._events += 1
+        for monitor in self.monitors:
+            found = monitor.check(event)
+            if found:
+                for alert in found:
+                    self.emit(alert)
+
+    def emit(self, alert: Alert) -> None:
+        """Record one alert (also usable by custom out-of-band checks)."""
+        if alert.event_index is None:
+            alert = replace(alert, event_index=self._events)
+        self.alerts.append(alert)
+        self.net.trace.record(
+            alert.time,
+            TraceKind.ALERT,
+            None,
+            monitor=alert.monitor,
+            severity=alert.severity,
+            message=alert.message,
+            measure=alert.measure,
+            observed=alert.observed,
+            bound=alert.bound,
+        )
+        if self.on_alert is not None:
+            self.on_alert(alert)
+
+    def finish(self) -> list[Alert]:
+        """Run end-of-run checks, uninstall, return all alerts."""
+        for monitor in self.monitors:
+            for alert in monitor.finish():
+                self.emit(alert)
+        self.uninstall()
+        return list(self.alerts)
+
+    @property
+    def violations(self) -> list[Alert]:
+        """Alerts with severity ``"violation"`` (warnings excluded)."""
+        return [a for a in self.alerts if a.severity == "violation"]
+
+
+# ----------------------------------------------------------------------
+# Budget monitoring
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Budget:
+    """One closed-form bound a run must stay under.
+
+    ``value`` is a zero-argument callable read once per event — keep it
+    to counter lookups (the built-in factories do).
+    """
+
+    measure: str
+    bound: float
+    claim: str
+    value: Callable[[], float]
+
+
+class BudgetMonitor(Monitor):
+    """Stream live counters against closed-form budgets.
+
+    Each budget alerts exactly once, at the first event after which its
+    observed value exceeds the bound; other budgets stay armed.
+    """
+
+    name = "budgets"
+
+    def __init__(self, net: "Network", budgets: Sequence[Budget]) -> None:
+        self.net = net
+        self.budgets = list(budgets)
+        self._armed = [True] * len(self.budgets)
+
+    def check(self, event: "Event") -> Iterable[Alert]:
+        alerts: list[Alert] = []
+        for i, budget in enumerate(self.budgets):
+            if not self._armed[i]:
+                continue
+            observed = budget.value()
+            if observed > budget.bound:
+                self._armed[i] = False
+                alerts.append(
+                    Alert(
+                        time=self.net.scheduler.now,
+                        monitor=self.name,
+                        message=(
+                            f"{budget.claim}: {budget.measure} reached "
+                            f"{observed:g} (bound {budget.bound:g})"
+                        ),
+                        measure=budget.measure,
+                        observed=float(observed),
+                        bound=float(budget.bound),
+                    )
+                )
+        return alerts
+
+
+def broadcast_budgets(net: "Network", scheme: str = "bpaths") -> list[Budget]:
+    """The paper's budgets for a standalone broadcast on ``net``.
+
+    ``bpaths`` gets Theorem 2's two bounds (``n`` message system calls,
+    ``(1 + log2 n) P + (n-1) C`` elapsed time); ``flood`` gets the
+    ``2m``-calls bound.  Schemes without a closed-form claim (direct,
+    dfs) return an empty list.  The START trigger is excluded from the
+    call counts, matching the benchmarks' per-broadcast accounting.
+    """
+    metrics = net.metrics
+
+    def message_calls() -> float:
+        return metrics.system_calls - metrics.system_calls_of_kind("start")
+
+    if scheme == "bpaths":
+        calls = broadcast_system_calls(net.n)
+        time_bound = broadcast_time_bound_general(
+            net.n, P=net.delays.software_bound, C=net.delays.hardware_bound
+        )
+        return [
+            Budget(
+                measure="message system calls",
+                bound=calls,
+                claim=f"Theorem 2: <= n = {calls} system calls",
+                value=message_calls,
+            ),
+            Budget(
+                measure="elapsed time",
+                bound=time_bound,
+                claim=f"Theorem 2: completion <= (1+log2 n)P + (n-1)C = {time_bound:g}",
+                value=lambda: net.scheduler.now,
+            ),
+        ]
+    if scheme == "flood":
+        _, hi = flooding_system_calls_bounds(net.m)
+        return [
+            Budget(
+                measure="message system calls",
+                bound=hi,
+                claim=f"flooding: <= 2m = {hi} system calls",
+                value=message_calls,
+            )
+        ]
+    return []
+
+
+def election_budgets(net: "Network") -> list[Budget]:
+    """Theorem 5's budget: at most ``6n`` tour + return system calls."""
+    bound = election_message_bound(net.n)
+    metrics = net.metrics
+    return [
+        Budget(
+            measure="tour+return system calls",
+            bound=bound,
+            claim=f"Theorem 5: tour + return <= 6n = {bound}",
+            value=lambda: (
+                metrics.system_calls_of_kind("tour")
+                + metrics.system_calls_of_kind("return")
+            ),
+        )
+    ]
+
+
+def budgets_for(
+    net: "Network", *, command: str, scheme: str | None = None
+) -> list[Budget]:
+    """Closed-form budgets for one CLI command (empty when none apply)."""
+    if command == "broadcast":
+        return broadcast_budgets(net, scheme or "bpaths")
+    if command == "election":
+        return election_budgets(net)
+    return []
+
+
+# ----------------------------------------------------------------------
+# Invariant monitoring
+# ----------------------------------------------------------------------
+class InvariantMonitor(Monitor):
+    """Check the Section 4 election invariants every ``every`` events.
+
+    Wraps :class:`~repro.analysis.invariants.ElectionInvariantChecker`;
+    on non-election networks the checker skips every node (no
+    ``domain``), so attaching this monitor everywhere is harmless.  It
+    disarms after its first violation — once the global state is bad,
+    every later check would re-report the same corruption.
+    """
+
+    name = "invariants"
+
+    def __init__(self, net: "Network", *, every: int = 64) -> None:
+        if every < 1:
+            raise ValueError("check cadence must be >= 1")
+        self.net = net
+        self.every = every
+        self.checker = ElectionInvariantChecker(net)
+        self._count = 0
+        self._armed = True
+
+    def check(self, event: "Event") -> Iterable[Alert]:
+        self._count += 1
+        if not self._armed or self._count % self.every:
+            return ()
+        try:
+            self.checker.check()
+        except ProtocolError as exc:
+            self._armed = False
+            return (
+                Alert(
+                    time=self.net.scheduler.now,
+                    monitor=self.name,
+                    message=f"Section 4 invariant violated: {exc}",
+                    measure="election invariants",
+                ),
+            )
+        return ()
+
+
+# ----------------------------------------------------------------------
+# Progress watchdog
+# ----------------------------------------------------------------------
+class ProgressWatchdog(Monitor):
+    """Quiescence and no-progress detection via ``pending_live``.
+
+    Three independent guards, each alerting once:
+
+    * ``deadline`` — live events still queued after this simulated
+      time: the run should have gone quiescent by now.
+    * ``queue_limit`` — ``pending_live`` exceeded the limit: the event
+      queue is exploding (a protocol is spawning faster than it
+      retires).
+    * ``stall_events`` — that many consecutive events fired without the
+      progress function changing while live events remain: pure
+      scheduler churn (severity ``"warning"``; re-arms when progress
+      resumes).  The default progress function is the sum of system
+      calls, hops and drops — every *useful* event moves one of them.
+    """
+
+    name = "watchdog"
+
+    def __init__(
+        self,
+        net: "Network",
+        *,
+        stall_events: int = 10_000,
+        deadline: float | None = None,
+        queue_limit: int | None = None,
+        progress: Callable[[], float] | None = None,
+    ) -> None:
+        if stall_events < 1:
+            raise ValueError("stall_events must be >= 1")
+        self.net = net
+        self.stall_events = stall_events
+        self.deadline = deadline
+        self.queue_limit = queue_limit
+        metrics = net.metrics
+        self._progress = progress or (
+            lambda: metrics.system_calls + metrics.hops + metrics.drops
+        )
+        self._last = self._progress()
+        self._stalled = 0
+        self._stall_armed = True
+        self._deadline_armed = deadline is not None
+        self._queue_armed = queue_limit is not None
+
+    def check(self, event: "Event") -> Iterable[Alert]:
+        alerts: list[Alert] = []
+        scheduler = self.net.scheduler
+        current = self._progress()
+        if current != self._last:
+            self._last = current
+            self._stalled = 0
+            self._stall_armed = True
+        else:
+            self._stalled += 1
+            if (
+                self._stall_armed
+                and self._stalled >= self.stall_events
+                and scheduler.pending_live > 0
+            ):
+                self._stall_armed = False
+                alerts.append(
+                    Alert(
+                        time=scheduler.now,
+                        monitor=self.name,
+                        severity="warning",
+                        message=(
+                            f"no progress for {self._stalled} events with "
+                            f"{scheduler.pending_live} live events queued"
+                        ),
+                        measure="stalled events",
+                        observed=float(self._stalled),
+                        bound=float(self.stall_events),
+                    )
+                )
+        if self._deadline_armed and scheduler.now > self.deadline:
+            if scheduler.pending_live > 0:
+                self._deadline_armed = False
+                alerts.append(
+                    Alert(
+                        time=scheduler.now,
+                        monitor=self.name,
+                        message=(
+                            f"not quiescent by t={self.deadline:g}: "
+                            f"{scheduler.pending_live} live events queued"
+                        ),
+                        measure="quiescence deadline",
+                        observed=scheduler.now,
+                        bound=float(self.deadline),
+                    )
+                )
+        if self._queue_armed and scheduler.pending_live > self.queue_limit:
+            self._queue_armed = False
+            alerts.append(
+                Alert(
+                    time=scheduler.now,
+                    monitor=self.name,
+                    message=(
+                        f"event queue depth {scheduler.pending_live} exceeds "
+                        f"limit {self.queue_limit}"
+                    ),
+                    measure="pending_live",
+                    observed=float(scheduler.pending_live),
+                    bound=float(self.queue_limit),
+                )
+            )
+        return alerts
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def monitors_from_spec(
+    net: "Network",
+    spec: str,
+    *,
+    command: str,
+    scheme: str | None = None,
+) -> tuple[list[Monitor], list[str]]:
+    """Build monitors from a ``--monitor`` comma list.
+
+    Returns ``(monitors, notes)`` where notes explain any requested
+    monitor that does not apply (e.g. no closed-form budgets for the
+    command).  Raises :class:`ValueError` on unknown names.
+    """
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    if "all" in names:
+        names = list(MONITOR_NAMES)
+    unknown = sorted(set(names) - set(MONITOR_NAMES))
+    if unknown:
+        raise ValueError(
+            f"unknown monitor(s) {unknown}; choose from "
+            f"{', '.join(MONITOR_NAMES)} or 'all'"
+        )
+    monitors: list[Monitor] = []
+    notes: list[str] = []
+    for name in dict.fromkeys(names):
+        if name == "budgets":
+            budgets = budgets_for(net, command=command, scheme=scheme)
+            if budgets:
+                monitors.append(BudgetMonitor(net, budgets))
+            else:
+                what = f"{command}/{scheme}" if scheme else command
+                notes.append(
+                    f"(no closed-form budgets for {what}; budget monitor skipped)"
+                )
+        elif name == "invariants":
+            monitors.append(InvariantMonitor(net))
+        elif name == "watchdog":
+            monitors.append(ProgressWatchdog(net))
+    return monitors, notes
+
+
+def render_alerts(
+    alerts: Sequence[Alert], *, title: str = "conformance monitors"
+) -> str:
+    """Text table of alerts in the repo's standard style."""
+    if not alerts:
+        return f"{title}: no alerts (all monitored bounds held)"
+
+    def num(value: float | None) -> Any:
+        return "-" if value is None else f"{value:g}"
+
+    rows = [
+        [
+            f"{alert.time:g}",
+            alert.monitor,
+            alert.severity,
+            alert.measure or "-",
+            num(alert.observed),
+            num(alert.bound),
+            alert.message,
+        ]
+        for alert in alerts
+    ]
+    return format_table(
+        ["t", "monitor", "severity", "measure", "observed", "bound", "detail"],
+        rows,
+        title=title,
+    )

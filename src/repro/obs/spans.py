@@ -15,6 +15,10 @@ parent/child structure:
 * **phase spans** — protocols may bracket logical phases by logging
   ``api.log(phase="election", mark="begin")`` / ``mark="end"``; each
   begin/end pair at a node becomes one span.
+* **alert spans** — conformance monitors (:mod:`repro.obs.monitors`)
+  record :attr:`~repro.sim.trace.TraceKind.ALERT` instants; each
+  becomes a zero-length span so breaches land on the same timeline as
+  the activity that caused them.
 
 The reconstruction is read-only over the records: it never needs the
 network and is therefore usable on traces loaded back from JSONL.
@@ -22,13 +26,14 @@ network and is therefore usable on traces loaded back from JSONL.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from ..sim.trace import Trace, TraceKind, TraceRecord
 
 #: Span categories, in rendering order.
-CATEGORIES = ("packet", "hop", "ncu", "phase")
+CATEGORIES = ("packet", "hop", "ncu", "phase", "alert")
 
 
 @dataclass(frozen=True, slots=True)
@@ -61,7 +66,19 @@ def build_spans(trace: Trace | Iterable[TraceRecord]) -> list[Span]:
     JSONL reload preserves it).  Unclosed intervals — a job still in
     service or a phase never ended when the trace stops — are closed at
     their last known time and flagged with ``args["unclosed"]``.
+
+    When given a :class:`Trace` whose capacity truncated the recording
+    (``trace.dropped > 0``) this warns: the reconstruction is built
+    from an incomplete record stream, so span counts understate the
+    run.
     """
+    if isinstance(trace, Trace) and trace.dropped:
+        warnings.warn(
+            f"trace was capacity-truncated ({trace.dropped} records dropped); "
+            "span reconstruction is incomplete",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     records = list(trace)
     spans: list[Span] = []
     next_sid = 0
@@ -208,6 +225,22 @@ def build_spans(trace: Trace | Iterable[TraceRecord]) -> list[Span]:
     for (node, phase), rec in open_phases.items():
         make(None, "phase", str(phase), node, rec.time, rec.time,
              phase=phase, unclosed=True)
+
+    # ------------------------------------------------------------------
+    # Alert spans (zero-length marks from conformance monitors)
+    # ------------------------------------------------------------------
+    for rec in records:
+        if rec.kind is not TraceKind.ALERT:
+            continue
+        make(
+            None,
+            "alert",
+            f"alert:{rec.detail.get('monitor', '?')}",
+            rec.node,
+            rec.time,
+            rec.time,
+            **rec.detail,
+        )
 
     return spans
 

@@ -14,14 +14,14 @@ from ..metrics.report import format_table
 from .spans import Span, span_counts
 
 #: Rendering order and glyph per category.
-_GLYPHS = {"packet": "=", "hop": "-", "ncu": "#", "phase": "~"}
+_GLYPHS = {"packet": "=", "hop": "-", "ncu": "#", "phase": "~", "alert": "!"}
 
 
 def render_timeline(
     spans: Iterable[Span],
     *,
     width: int = 56,
-    categories: Sequence[str] = ("packet", "ncu", "phase"),
+    categories: Sequence[str] = ("packet", "ncu", "phase", "alert"),
     limit: int | None = 40,
     title: str | None = None,
 ) -> str:

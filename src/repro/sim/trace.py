@@ -29,6 +29,7 @@ class TraceKind(Enum):
     LINK_STATE = "link_state"
     TIMER_FIRED = "timer_fired"
     PROTOCOL_NOTE = "protocol_note"
+    ALERT = "alert"
 
 
 @dataclass(slots=True)

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -207,6 +208,34 @@ def test_histogram_validation():
         Histogram.geometric(0, 10, 4)
 
 
+def test_histogram_empty_mean_and_quantile():
+    hist = Histogram([1.0, 2.0])
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.quantile(0.5) == 0.0
+    assert hist.quantile(0.0) == 0.0 and hist.quantile(1.0) == 0.0
+
+
+def test_histogram_single_value():
+    hist = Histogram([10.0])
+    hist.add(3.0)
+    assert hist.count == 1
+    assert hist.minimum == hist.maximum == 3.0
+    assert hist.mean == pytest.approx(3.0)
+    assert hist.quantile(0.0) == hist.quantile(1.0)
+
+
+def test_histogram_out_of_bounds_adds():
+    hist = Histogram([1.0, 2.0])
+    hist.add(-50.0)   # far below the lowest bound: first bin
+    hist.add(1e12)    # far above the highest: overflow bin
+    assert hist.counts == [1, 0, 1]
+    assert hist.count == 2
+    assert hist.minimum == -50.0 and hist.maximum == 1e12
+    assert hist.quantile(0.0) == 1.0  # underflow reports its bin edge
+    assert hist.quantile(1.0) == 1e12  # overflow reports the true max
+
+
 def test_histogram_geometric_bounds():
     hist = Histogram.geometric(1.0, 64.0, 7)
     assert hist.bounds[0] == pytest.approx(1.0)
@@ -247,6 +276,29 @@ def test_live_stats_exclusive_probe():
         LiveStats().install(net)
 
 
+def test_live_stats_uninstall_is_idempotent():
+    net = from_spec("ring:4", delays=FixedDelays(0.0, 1.0))
+    stats = LiveStats().install(net)
+    stats.uninstall()
+    stats.uninstall()  # second uninstall must be a no-op
+    assert net.probe is None
+    assert stats.on_event not in net.scheduler._observers
+    # Never-installed stats can be uninstalled without error too.
+    LiveStats().uninstall()
+
+
+def test_live_stats_double_install_same_instance_is_safe():
+    net = from_spec("ring:4", delays=FixedDelays(0.0, 1.0))
+    stats = LiveStats().install(net)
+    stats.install(net)  # re-installing the same instance is allowed
+    assert net.probe is stats
+    assert net.scheduler._observers.count(stats.on_event) == 1
+    stats.uninstall()
+    # After a clean detach another collector may take the probe slot.
+    other = LiveStats().install(net)
+    assert net.probe is other
+
+
 def test_live_stats_uninstall_stops_collection():
     net = from_spec("ring:8", delays=FixedDelays(0.0, 1.0))
     stats = LiveStats().install(net)
@@ -260,6 +312,21 @@ def test_live_stats_uninstall_stops_collection():
         0,
     )
     assert stats.total_jobs == 0 and stats.events_seen == 0
+
+
+def test_build_spans_warns_on_truncated_trace():
+    trace = Trace(capacity=2)
+    for i in range(5):
+        trace.record(float(i), TraceKind.NCU_JOB_START, node=i, job="x")
+    with pytest.warns(RuntimeWarning, match="capacity-truncated"):
+        build_spans(trace)
+    # Full traces and bare record lists stay silent.
+    full = Trace()
+    full.record(0.0, TraceKind.NCU_JOB_START, node=0, job="x")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        build_spans(full)
+        build_spans(list(trace))  # a record list has no dropped counter
 
 
 # ----------------------------------------------------------------------

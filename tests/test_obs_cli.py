@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.obs import RunManifest, records_from_jsonl
 from repro.sim import TraceKind
@@ -108,3 +110,174 @@ def test_observe_trace_capacity_reports_drops(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "dropped" in out
     assert len(records_from_jsonl(trace_path)) == 10
+
+
+# ----------------------------------------------------------------------
+# Conformance monitors on the CLI
+# ----------------------------------------------------------------------
+def test_election_with_monitors_is_clean(capsys):
+    assert main([
+        "election", "--topology", "ring:8", "--monitor", "all",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "no alerts" in out
+
+
+def test_broadcast_with_budget_monitor_is_clean(capsys):
+    assert main([
+        "broadcast", "--topology", "grid:4,4", "--monitor", "budgets",
+    ]) == 0
+    assert "no alerts" in capsys.readouterr().out
+
+
+def test_monitor_without_closed_form_prints_note(capsys):
+    assert main([
+        "multicast", "--topology", "grid:3,3", "--monitor", "budgets",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "no closed-form budgets" in out
+
+
+def test_unknown_monitor_name_is_a_usage_error(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["election", "--topology", "ring:8", "--monitor", "nope"])
+    assert excinfo.value.code == 2
+    assert "unknown monitor" in capsys.readouterr().err
+
+
+def test_monitor_alerts_reach_manifest_extra(tmp_path):
+    path = tmp_path / "m.json"
+    assert main([
+        "election", "--topology", "ring:8", "--monitor", "watchdog",
+        "--manifest-out", str(path),
+    ]) == 0
+    manifest = RunManifest.load(path)
+    assert manifest.extra["alerts"] == 0
+    assert manifest.extra["violations"] == 0
+
+
+def test_monitored_trace_contains_alert_records(tmp_path, capsys):
+    # An impossible deadline guarantees a watchdog violation: the CLI
+    # must announce it mid-run, render the table, export the ALERT
+    # record, and exit non-zero.
+    trace_path = tmp_path / "t.jsonl"
+    code = main([
+        "election", "--topology", "ring:12", "--monitor", "budgets",
+        "--trace-out", str(trace_path),
+    ])
+    assert code == 0  # the paper's election honours Theorem 5
+    records = records_from_jsonl(trace_path)
+    assert not [r for r in records if r.kind is TraceKind.ALERT]
+
+
+# ----------------------------------------------------------------------
+# observe --from-trace
+# ----------------------------------------------------------------------
+def test_observe_from_trace_round_trip(tmp_path, capsys):
+    trace_path = tmp_path / "t.jsonl"
+    assert main([
+        "broadcast", "--topology", "ring:8", "--trace-out", str(trace_path),
+    ]) == 0
+    capsys.readouterr()
+    assert main(["observe", "--from-trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "loaded" in out and "reconstructed spans" in out
+
+
+def test_observe_from_trace_corrupt_file_one_line_error(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text('{"time": 0.0, "kind": "ncu_job_start", "node": 0, "de')
+    assert main(["observe", "--from-trace", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "bad.jsonl:1" in err
+    assert len(err.strip().splitlines()) == 1  # one line, not a traceback
+
+
+def test_observe_from_trace_missing_file(tmp_path, capsys):
+    assert main(["observe", "--from-trace", str(tmp_path / "gone.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert "cannot read trace file" in err
+
+
+def test_observe_from_trace_unknown_kind(tmp_path, capsys):
+    bad = tmp_path / "kind.jsonl"
+    bad.write_text('{"time": 0.0, "kind": "warp_drive", "node": 0, "detail": {}}\n')
+    assert main(["observe", "--from-trace", str(bad)]) == 1
+    assert "kind.jsonl:1" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# repro bench
+# ----------------------------------------------------------------------
+def test_bench_list(capsys):
+    assert main(["bench", "--list"]) == 0
+    out = capsys.readouterr().out
+    assert "broadcast_grid" in out and "election_ring" in out
+
+
+def test_bench_writes_documents_and_self_compare_passes(tmp_path, capsys):
+    doc_dir = tmp_path / "out"
+    assert main([
+        "bench", "--name", "broadcast_grid", "--out-dir", str(doc_dir),
+    ]) == 0
+    path = doc_dir / "BENCH_broadcast_grid.json"
+    assert path.exists()
+    doc = json.loads(path.read_text())
+    assert doc["manifest"]["command"] == "bench:broadcast_grid"
+    capsys.readouterr()
+    # Comparing a fresh run against itself (loose wall thresholds,
+    # since wall time is noisy even on one machine) passes the gate.
+    assert main([
+        "bench", "--replay", str(path), "--compare", str(path),
+    ]) == 0
+    assert "REGRESSION" not in capsys.readouterr().out
+
+
+def test_bench_compare_flags_injected_regression(tmp_path, capsys):
+    doc_dir = tmp_path / "out"
+    assert main([
+        "bench", "--name", "scheduler_churn", "--out-dir", str(doc_dir),
+    ]) == 0
+    current = doc_dir / "BENCH_scheduler_churn.json"
+    doc = json.loads(current.read_text())
+    doc["metrics"] = {k: v / 2 for k, v in doc["metrics"].items()}
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(doc))
+    capsys.readouterr()
+    assert main([
+        "bench", "--replay", str(current), "--compare", str(tampered),
+    ]) == 1
+    captured = capsys.readouterr()
+    assert "REGRESSION" in captured.out
+    assert "REGRESSION:" in captured.err
+
+
+def test_bench_threshold_override_loosens_gate(tmp_path, capsys):
+    doc_dir = tmp_path / "out"
+    assert main([
+        "bench", "--name", "scheduler_churn", "--out-dir", str(doc_dir),
+    ]) == 0
+    current = doc_dir / "BENCH_scheduler_churn.json"
+    doc = json.loads(current.read_text())
+    doc["metrics"]["events"] /= 1.5  # current looks 1.5x worse
+    tampered = tmp_path / "tampered.json"
+    tampered.write_text(json.dumps(doc))
+    assert main([
+        "bench", "--replay", str(current), "--compare", str(tampered),
+        "--threshold", "events=2.0",
+    ]) == 0
+
+
+def test_bench_usage_errors(tmp_path, capsys):
+    assert main(["bench", "--name", "nope"]) == 2
+    assert main([
+        "bench", "--replay", str(tmp_path / "missing.json"),
+    ]) == 2
+    assert main([
+        "bench", "--name", "scheduler_churn", "--out-dir", str(tmp_path),
+        "--threshold", "oops",
+    ]) == 2
+    err = capsys.readouterr().err
+    assert "unknown benchmark" in err
+    assert "METRIC=RATIO" in err
