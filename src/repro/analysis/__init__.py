@@ -24,7 +24,7 @@ from .causality import (
 from .export import load_json_rows, rows_to_csv, rows_to_json, slugify
 from .invariants import ElectionInvariantChecker, run_checked
 from .fitting import GROWTH_MODELS, ModelFit, best_model, fit_constant, loglog_slope
-from .montecarlo import SUMMARY_HEADERS, Summary, sweep
+from .montecarlo import SUMMARY_HEADERS, Summary, resolve_seeds, sweep
 from .render import (
     render_labelled_tree,
     render_opt_tree,
@@ -62,6 +62,7 @@ __all__ = [
     "render_tree",
     "SUMMARY_HEADERS",
     "Summary",
+    "resolve_seeds",
     "sweep",
     "termination_event",
     "utilization_report",

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
+
+from ..sim.seeding import derive_seed
 
 
 @dataclass(frozen=True)
@@ -73,17 +76,61 @@ class Summary:
 SUMMARY_HEADERS = ["mean", "stdev", "min", "p50", "p95", "max"]
 
 
+def resolve_seeds(
+    seeds: Sequence[int] | int, *, root: int = 0
+) -> tuple[int, ...]:
+    """Materialise and validate a seed set *before* any work runs.
+
+    An int ``n`` means *n independent samples*: seed ``i`` is
+    ``derive_seed(root, "montecarlo", i)`` (SplitMix64 derivation, see
+    :mod:`repro.sim.seeding`) rather than the raw ``range(n)``
+    enumeration this module used to ship — raw small-int seeds collide
+    with every other ``range``-seeded sweep in a campaign, derived ones
+    do not.  Explicit seed iterables pass through unchanged.
+    """
+    if isinstance(seeds, int):
+        resolved = tuple(
+            derive_seed(root, "montecarlo", i) for i in range(seeds)
+        )
+    else:
+        resolved = tuple(seeds)
+    if not resolved:
+        raise ValueError("at least one seed is required")
+    return resolved
+
+
 def sweep(
     experiment: Callable[[int], float],
     seeds: Sequence[int] | int,
+    *,
+    root: int = 0,
+    jobs: int = 1,
+    cache: str | Path | None = None,
 ) -> Summary:
     """Run ``experiment(seed)`` for each seed and summarise the results.
 
-    ``seeds`` may be an iterable of seeds or an int n (meaning 0..n-1).
+    ``seeds`` may be an iterable of seeds or an int n, meaning n
+    independent seeds derived from ``root`` (see :func:`resolve_seeds`).
+    The seed set is validated up front, so an empty sweep fails before
+    the first experiment runs.
+
+    With ``jobs > 1`` or a ``cache`` directory, the sweep becomes a
+    campaign (:mod:`repro.exec`): ``experiment`` must then be a
+    module-level function taking ``seed`` as a keyword — lambdas and
+    closures cannot cross process boundaries — and per-sample floats
+    are identical to the serial path for any job count.
     """
-    if isinstance(seeds, int):
-        seeds = range(seeds)
-    samples = tuple(float(experiment(seed)) for seed in seeds)
-    if not samples:
-        raise ValueError("at least one seed is required")
-    return Summary(samples=samples)
+    resolved = resolve_seeds(seeds, root=root)
+    if jobs <= 1 and cache is None:
+        return Summary(
+            samples=tuple(float(experiment(seed)) for seed in resolved)
+        )
+    from ..exec import TaskSpec, fn_path, run_campaign
+
+    path = experiment if isinstance(experiment, str) else fn_path(experiment)
+    specs = [
+        TaskSpec.make(path, seed=seed, label=f"mc[{i}]:{path}")
+        for i, seed in enumerate(resolved)
+    ]
+    outcome = run_campaign(specs, jobs=jobs, cache=cache)
+    return Summary(samples=tuple(float(v) for v in outcome.values()))

@@ -12,6 +12,14 @@ Examples::
     python -m repro observe   --topology grid:8,8 --workload broadcast --stats
     python -m repro election  --topology ring:32 --monitor budgets,watchdog
     python -m repro bench --compare benchmarks/baselines/BENCH_election_ring.json
+    python -m repro bench --jobs 4
+    python -m repro campaign tradeoff --n 48 --jobs 4 --rows-out rows.json
+
+Campaigns (see ``docs/TUTORIAL.md`` §8): ``repro campaign`` turns a
+sweep, Monte-Carlo run or bench workload into sharded tasks executed
+across a process pool with a content-addressed result cache —
+interrupt it freely, re-running resumes instead of recomputing, and
+any ``--jobs`` count produces byte-identical rows.
 
 All commands print the same row formats the benchmarks use, so shell
 runs and `pytest benchmarks/` outputs are directly comparable.
@@ -358,7 +366,7 @@ def cmd_globalfn(args: argparse.Namespace) -> int:
     rows = [
         [f"{row.ratio:g}:1", float(row.optimal_time), row.root_degree, row.depth,
          float(row.star_time), float(row.binary_time), float(row.path_time)]
-        for row in tradeoff_sweep(args.n, ratios, P=args.P)
+        for row in tradeoff_sweep(args.n, ratios, P=args.P, jobs=args.jobs)
     ]
     print(format_table(
         ["C:P", "t_opt", "root_deg", "depth", "t_star", "t_binary", "t_path"],
@@ -502,7 +510,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         regressions,
         render_comparison,
         render_metrics,
-        run_benchmark,
+        run_benchmarks,
         write_bench_document,
     )
 
@@ -538,13 +546,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             names = [part.strip() for part in args.name.split(",") if part.strip()]
         else:
             names = list(benchmark_names())
-        for name in names:
-            try:
-                doc = run_benchmark(name)
-            except ValueError as exc:
-                print(f"error: {exc}", file=sys.stderr)
-                return 2
-            docs[name] = doc
+        try:
+            docs = run_benchmarks(names, jobs=args.jobs)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        for name, doc in docs.items():
             path = write_bench_document(doc, args.out_dir)
             print(render_metrics(doc, title=f"{name}: {doc['description']}"))
             print(f"written to {path}")
@@ -581,6 +588,142 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
             exit_code = 1
     return exit_code
+
+
+CAMPAIGN_WORKLOADS = ("tradeoff", "montecarlo", "bench")
+
+
+def _campaign_specs(args: argparse.Namespace) -> tuple[list, dict]:
+    """Build the spec list and the parameter block for one campaign.
+
+    The parameter block goes into the campaign manifest and the rows
+    file header; it names the grid, never the execution (no job count,
+    no cache state), so rows files compare byte-identical across runs.
+    """
+    from .exec import TaskSpec
+
+    if args.workload == "tradeoff":
+        from fractions import Fraction
+
+        from .analysis.sweeps import tradeoff_specs
+
+        ratios = [Fraction(part.strip())
+                  for part in args.ratios.split(",") if part.strip()]
+        specs = tradeoff_specs(args.n, ratios, P=Fraction(args.P))
+        params = {"n": args.n, "ratios": [str(r) for r in ratios],
+                  "P": str(Fraction(args.P))}
+    elif args.workload == "montecarlo":
+        from .sim import derive_seed
+
+        specs = [
+            TaskSpec.make(
+                "repro.exec.workloads:election_calls_per_node",
+                seed=derive_seed(args.root_seed, "montecarlo", i),
+                n=args.n,
+                edge_prob=args.edge_prob,
+                label=f"mc[{i}](n={args.n})",
+            )
+            for i in range(args.seeds)
+        ]
+        params = {"seeds": args.seeds, "root_seed": args.root_seed,
+                  "n": args.n, "edge_prob": args.edge_prob}
+    else:  # bench
+        from .obs import benchmark_names
+
+        names = ([part.strip() for part in args.names.split(",") if part.strip()]
+                 if args.names else list(benchmark_names()))
+        specs = [
+            TaskSpec.make(
+                "repro.exec.workloads:bench_counters",
+                name=name,
+                label=f"bench:{name}",
+            )
+            for name in names
+        ]
+        params = {"names": names}
+    return specs, params
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    """Run one sharded, cached campaign; see docs/TUTORIAL.md §8."""
+    import json
+
+    from .exec import run_campaign
+    from .obs import CampaignManifest
+
+    try:
+        specs, params = _campaign_specs(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not specs:
+        print("error: campaign has no tasks", file=sys.stderr)
+        return 2
+
+    status_tags = {"ok": "ran  ", "cached": "cache", "failed": "FAIL ",
+                   "skipped": "skip "}
+
+    def announce(result) -> None:
+        note = f"  ({result.error})" if result.error else ""
+        retried = f"  [attempt {result.attempts}]" if result.attempts > 1 else ""
+        print(f"[{status_tags[result.status]}] {result.spec.label}"
+              f"{retried}{note}")
+
+    outcome = run_campaign(
+        specs,
+        jobs=args.jobs,
+        cache=None if args.no_cache else args.cache_dir,
+        timeout=args.timeout,
+        retries=args.retries,
+        max_tasks=args.max_tasks,
+        on_result=announce,
+    )
+
+    print()
+    print(format_table(
+        ["tasks", "executed", "cached", "failed", "skipped", "retries",
+         "wall_ms"],
+        [[len(outcome.results), outcome.executed, outcome.cache_hits,
+          len(outcome.failures), outcome.skipped, outcome.retries_used,
+          f"{outcome.wall_ms:.0f}"]],
+        title=f"campaign {args.workload} at --jobs {args.jobs}",
+    ))
+
+    complete = all(r.ok for r in outcome.results)
+    if args.rows_out:
+        if complete:
+            rows_doc = {
+                "workload": args.workload,
+                "params": params,
+                "rows": [r.value for r in outcome.results],
+            }
+            path = Path(args.rows_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(rows_doc, indent=2, sort_keys=True) + "\n"
+            )
+            print(f"rows written to {path}")
+        else:
+            print(f"rows NOT written to {args.rows_out} "
+                  "(campaign incomplete; resume to finish)")
+    if args.manifest_out:
+        manifest = CampaignManifest.from_outcome(
+            outcome, command="campaign", workload=args.workload, **params
+        )
+        print(f"campaign manifest written to "
+              f"{manifest.write(args.manifest_out)}")
+
+    if outcome.failures:
+        first = outcome.failures[0]
+        print(f"error: {len(outcome.failures)} task(s) failed "
+              f"(first: {first.spec.label}: {first.error})", file=sys.stderr)
+        return 1
+    if outcome.interrupted:
+        print(f"interrupted after {outcome.executed} execution(s); "
+              f"{outcome.skipped} task(s) pending — re-run to resume "
+              "from the cache")
+        return 3
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -662,6 +805,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=64)
     p.add_argument("--P", type=float, default=1.0)
     p.add_argument("--C", type=float, default=1.0)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the trade-off sweep across N processes "
+                        "(default %(default)s; rows are identical for any N)")
     p.set_defaults(func=cmd_globalfn)
 
     p = sub.add_parser("lowerbound", help="one-way broadcast bounds (E3)")
@@ -723,7 +869,65 @@ def build_parser() -> argparse.ArgumentParser:
                         "events_per_sec 0.5)")
     p.add_argument("--list", action="store_true",
                    help="list registered benchmarks and exit")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="run benchmarks across N worker processes "
+                        "(default %(default)s; deterministic counters are "
+                        "identical for any N)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "campaign",
+        help="sharded, cached experiment campaign: sweeps, Monte-Carlo "
+             "or bench counters across a process pool, resumable from "
+             "its result cache",
+    )
+    p.add_argument("workload", choices=CAMPAIGN_WORKLOADS,
+                   help="which task family to run")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes (default %(default)s); rows are "
+                        "byte-identical for any N")
+    p.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                   help="content-addressed result cache "
+                        "(default %(default)s)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute everything; do not read or write the cache")
+    p.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-task wall-clock limit (worker is killed; "
+                        "needs --jobs >= 2)")
+    p.add_argument("--retries", type=int, default=2, metavar="K",
+                   help="extra attempts per task after a worker crash "
+                        "(default %(default)s)")
+    p.add_argument("--max-tasks", type=int, default=None, metavar="K",
+                   help="execute at most K fresh tasks then stop (exit 3); "
+                        "re-running resumes from the cache")
+    p.add_argument("--rows-out", default=None, metavar="PATH",
+                   help="write the deterministic result rows as JSON "
+                        "(only once the campaign is complete)")
+    p.add_argument("--manifest-out", default=None, metavar="PATH",
+                   help="write a campaign manifest (shards, cache hits, "
+                        "retries, per-task wall time)")
+    grid = p.add_argument_group("workload parameters")
+    grid.add_argument("--n", type=int, default=32,
+                      help="problem size: tradeoff tree size / montecarlo "
+                           "graph size (default %(default)s)")
+    grid.add_argument("--ratios", default="0,1,2,4,8,16", metavar="LIST",
+                      help="tradeoff: comma list of C/P ratios, exact "
+                           "fractions allowed (default %(default)s)")
+    grid.add_argument("--P", default="1", metavar="FRACTION",
+                      help="tradeoff: software delay bound "
+                           "(default %(default)s)")
+    grid.add_argument("--seeds", type=int, default=16,
+                      help="montecarlo: number of derived seeds "
+                           "(default %(default)s)")
+    grid.add_argument("--root-seed", type=int, default=0,
+                      help="montecarlo: root for seed derivation "
+                           "(default %(default)s)")
+    grid.add_argument("--edge-prob", type=float, default=0.18,
+                      help="montecarlo: random-graph edge probability "
+                           "(default %(default)s)")
+    grid.add_argument("--names", default=None, metavar="LIST",
+                      help="bench: comma list of benchmarks (default: all)")
+    p.set_defaults(func=cmd_campaign)
 
     return parser
 

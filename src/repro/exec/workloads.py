@@ -1,0 +1,82 @@
+"""Registered campaign workloads: pure, addressable task functions.
+
+Every function here is a valid :class:`~repro.exec.task.TaskSpec`
+target: module-level, keyword-only, JSON-in/JSON-out, and
+deterministic given its parameters (randomness enters only through an
+explicit ``seed``, derived via :func:`repro.sim.seeding.derive_seed`).
+Heavy imports stay inside the functions so spec *construction* — which
+happens in the driver for every task, cached or not — costs nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Metrics in a benchmark document that vary run to run; everything
+#: else is an exactly reproducible simulation counter.
+NONDETERMINISTIC_METRICS = frozenset({"wall_ms", "events_per_sec"})
+
+
+def tradeoff_point(*, n: int, ratio: str, P: str = "1") -> dict[str, Any]:
+    """One (n, C/P) point of the E10 trade-off study.
+
+    ``ratio`` and ``P`` are exact fraction strings (``"4"``, ``"1/3"``)
+    so the computation stays in :class:`fractions.Fraction` end to end;
+    the returned row stores times the same way.
+    """
+    from ..analysis.sweeps import tradeoff_rows_for_ratio
+
+    return tradeoff_rows_for_ratio(n=n, ratio=ratio, P=P)
+
+
+def growth_point(*, P: str, C: str, k: int) -> dict[str, Any]:
+    """S(kP) for one k of the E7/E8 growth table."""
+    from fractions import Fraction
+
+    from ..core.opt_tree import OptTreeBuilder
+
+    Pf, Cf = Fraction(P), Fraction(C)
+    builder = OptTreeBuilder(Pf, Cf)
+    return {"k": k, "size": builder.size(k * Pf)}
+
+
+def election_calls_per_node(
+    seed: int, *, n: int = 24, edge_prob: float = 0.18
+) -> float:
+    """Tour+return system calls per node for one seeded election.
+
+    The Monte-Carlo sample behind the Theorem 5 distribution: a random
+    connected graph and random delays, both driven by ``seed``.
+    """
+    from ..core import LeaderElection
+    from ..network import Network, topologies
+    from ..sim import RandomDelays
+
+    g = topologies.random_connected(n, edge_prob, seed=seed)
+    net = Network(g, delays=RandomDelays(hardware=0.3, software=1.0, seed=seed))
+    net.attach(lambda api: LeaderElection(api))
+    net.start()
+    net.run_to_quiescence(max_events=3_000_000)
+    snap = net.metrics.snapshot()
+    tours = snap.system_calls_by_kind.get("tour", 0)
+    returns = snap.system_calls_by_kind.get("return", 0)
+    return (tours + returns) / net.n
+
+
+def bench_counters(*, name: str) -> dict[str, Any]:
+    """One benchmark's *deterministic* counters (no wall-clock noise).
+
+    This is the campaign form of ``repro bench``: identical across job
+    counts, shards and machines, hence safely cacheable — unlike the
+    full ``BENCH_<name>.json`` document, whose wall metrics must be
+    measured fresh.
+    """
+    from ..obs.bench import run_benchmark
+
+    doc = run_benchmark(name)
+    metrics = {
+        metric: value
+        for metric, value in doc["metrics"].items()
+        if metric not in NONDETERMINISTIC_METRICS
+    }
+    return {"bench": name, "metrics": metrics}

@@ -19,6 +19,7 @@ from .bench import (
     render_comparison,
     render_metrics,
     run_benchmark,
+    run_benchmarks,
     write_bench_document,
 )
 from .exporters import (
@@ -31,7 +32,7 @@ from .exporters import (
     write_chrome_trace,
 )
 from .live import Histogram, LiveStats
-from .manifest import RunManifest, git_revision
+from .manifest import CampaignManifest, RunManifest, git_revision
 from .monitors import (
     MONITOR_NAMES,
     Alert,
@@ -56,6 +57,7 @@ __all__ = [
     "Benchmark",
     "Budget",
     "BudgetMonitor",
+    "CampaignManifest",
     "Histogram",
     "InvariantMonitor",
     "LiveStats",
@@ -90,6 +92,7 @@ __all__ = [
     "render_metrics",
     "render_timeline",
     "run_benchmark",
+    "run_benchmarks",
     "span_counts",
     "span_summary_table",
     "write_bench_document",

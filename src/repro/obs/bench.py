@@ -226,6 +226,40 @@ def run_benchmark(name: str) -> dict[str, Any]:
     }
 
 
+def run_benchmarks(
+    names: Sequence[str] | None = None, *, jobs: int = 1
+) -> dict[str, dict[str, Any]]:
+    """Run several benchmarks, optionally sharded across processes.
+
+    Returns ``{name: document}`` in registry order.  With ``jobs > 1``
+    each benchmark runs in its own worker via the campaign engine
+    (:mod:`repro.exec`); deterministic counters are identical to the
+    serial path because every workload builds its own network from a
+    fixed spec — only ``wall_ms`` / ``events_per_sec`` move, and those
+    are per-process measurements either way.  No result cache is used:
+    a benchmark exists to be *measured*, not remembered.
+    """
+    names = list(names) if names is not None else list(benchmark_names())
+    unknown = [name for name in names if name not in _BY_NAME]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmark {unknown[0]!r}; choose from "
+            f"{', '.join(benchmark_names())}"
+        )
+    if jobs <= 1:
+        return {name: run_benchmark(name) for name in names}
+    from ..exec import TaskSpec, run_campaign
+
+    specs = [
+        TaskSpec.make(
+            "repro.obs.bench:run_benchmark", name=name, label=f"bench:{name}"
+        )
+        for name in names
+    ]
+    outcome = run_campaign(specs, jobs=jobs)
+    return dict(zip(names, outcome.values()))
+
+
 def bench_path(name: str, directory: str | Path = ".") -> Path:
     """Canonical on-disk location: ``<directory>/BENCH_<name>.json``."""
     return Path(directory) / f"BENCH_{name}.json"

@@ -6,6 +6,12 @@ shape, final counter totals, the git revision of the code, and the
 interpreter.  The CLI writes one next to each trace export so a
 ``.json`` trace found on disk months later still says where it came
 from.
+
+:class:`CampaignManifest` is the sharded-campaign counterpart: one
+document per ``repro campaign`` invocation recording the shard count,
+cache hits, retries, failures and per-task wall time, so a resumed
+campaign's provenance shows exactly which tasks were recomputed and
+which came from the cache.
 """
 
 from __future__ import annotations
@@ -116,6 +122,97 @@ class RunManifest:
 
     @classmethod
     def load(cls, path: str | Path) -> "RunManifest":
+        """Read back a manifest written by :meth:`write`."""
+        data = json.loads(Path(path).read_text())
+        return cls(**data)
+
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..exec.engine import CampaignOutcome
+
+
+@dataclass(frozen=True)
+class CampaignManifest:
+    """Provenance for one sharded-campaign invocation.
+
+    ``tasks`` holds one record per spec, in spec order:
+    ``{label, key, status, cache_hit, attempts, wall_ms}`` — enough to
+    audit a resume (which tasks were cached), a flaky worker (attempt
+    counts) and the shard pool's load balance (per-task wall time).
+    """
+
+    command: str
+    workload: str | None = None
+    jobs: int = 1
+    task_count: int = 0
+    executed: int = 0
+    cache_hits: int = 0
+    failures: int = 0
+    skipped: int = 0
+    retries: int = 0
+    interrupted: bool = False
+    wall_ms: float = 0.0
+    tasks: list[dict[str, Any]] = field(default_factory=list)
+    git: str | None = None
+    python: str = ""
+    platform: str = ""
+    created_at: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_outcome(
+        cls,
+        outcome: "CampaignOutcome",
+        *,
+        command: str,
+        workload: str | None = None,
+        **extra: Any,
+    ) -> "CampaignManifest":
+        """Summarise a :class:`~repro.exec.engine.CampaignOutcome`."""
+        tasks = [
+            {
+                "label": result.spec.label,
+                "key": result.key,
+                "status": result.status,
+                "cache_hit": result.cache_hit,
+                "attempts": result.attempts,
+                "wall_ms": round(result.wall_ms, 3),
+            }
+            for result in outcome.results
+        ]
+        return cls(
+            command=command,
+            workload=workload,
+            jobs=outcome.jobs,
+            task_count=len(outcome.results),
+            executed=outcome.executed,
+            cache_hits=outcome.cache_hits,
+            failures=len(outcome.failures),
+            skipped=outcome.skipped,
+            retries=outcome.retries_used,
+            interrupted=outcome.interrupted,
+            wall_ms=round(outcome.wall_ms, 3),
+            tasks=tasks,
+            git=git_revision(),
+            python=sys.version.split()[0],
+            platform=platform.platform(),
+            created_at=datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            extra=dict(extra),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (what :meth:`write` serialises)."""
+        return asdict(self)
+
+    def write(self, path: str | Path) -> Path:
+        """Write as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_dict(), indent=2, default=str) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "CampaignManifest":
         """Read back a manifest written by :meth:`write`."""
         data = json.loads(Path(path).read_text())
         return cls(**data)

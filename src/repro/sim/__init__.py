@@ -24,6 +24,7 @@ from .errors import (
 )
 from .events import Event
 from .scheduler import Scheduler
+from .seeding import derive_seed, seed_sequence, splitmix64
 from .trace import Trace, TraceKind, TraceRecord
 
 __all__ = [
@@ -45,6 +46,9 @@ __all__ = [
     "Trace",
     "TraceKind",
     "TraceRecord",
+    "derive_seed",
     "limiting_model",
     "parameterized_model",
+    "seed_sequence",
+    "splitmix64",
 ]

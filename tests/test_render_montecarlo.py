@@ -93,8 +93,35 @@ def test_quantile_validation():
 
 
 def test_sweep_with_int_seeds():
+    # An int n now means n *derived* seeds (SplitMix64 under root 0),
+    # not range(n) — raw small-int enumeration collides across sweeps.
+    from repro.sim import derive_seed
+
     summary = sweep(lambda seed: float(seed * seed), 5)
-    assert summary.samples == (0.0, 1.0, 4.0, 9.0, 16.0)
+    expected = tuple(
+        float(derive_seed(0, "montecarlo", i) ** 2) for i in range(5)
+    )
+    assert summary.samples == expected
+
+
+def test_sweep_int_seeds_follow_root():
+    assert sweep(float, 3).samples == sweep(float, 3, root=0).samples
+    assert sweep(float, 3).samples != sweep(float, 3, root=1).samples
+
+
+def test_sweep_validates_before_running():
+    # The empty-seed case must fail before the experiment runs at all.
+    calls = []
+
+    def experiment(seed):
+        calls.append(seed)
+        return 0.0
+
+    with pytest.raises(ValueError):
+        sweep(experiment, 0)
+    with pytest.raises(ValueError):
+        sweep(experiment, iter(()))
+    assert calls == []
 
 
 def test_sweep_with_explicit_seeds():
