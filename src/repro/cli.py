@@ -500,6 +500,43 @@ def cmd_observe(args: argparse.Namespace) -> int:
     return code
 
 
+def _profiled_benchmarks(names: list, args: argparse.Namespace) -> dict:
+    """Run each benchmark under cProfile; dump stats and print a top-N
+    cumulative table.
+
+    Perf work should start from data: this is the profiling entry point
+    ``docs/PERFORMANCE.md`` points at.  Wall-clock metrics in the
+    resulting documents include profiler overhead, so they must not be
+    compared against unprofiled baselines — deterministic counters are
+    unaffected.
+    """
+    import cProfile
+    import io
+    import pstats
+    from pathlib import Path
+
+    from .obs import run_benchmark
+
+    print("note: profiling inflates wall_ms / deflates events_per_sec; "
+          "do not gate against unprofiled baselines\n")
+    docs: dict = {}
+    for name in names:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        docs[name] = run_benchmark(name)
+        profiler.disable()
+        dump = Path(args.out_dir) / f"PROFILE_{name}.pstats"
+        dump.parent.mkdir(parents=True, exist_ok=True)
+        profiler.dump_stats(dump)
+        stream = io.StringIO()
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.sort_stats("cumulative").print_stats(args.profile_top)
+        print(f"--- profile: {name} (top {args.profile_top} by cumulative "
+              f"time; full dump: {dump}) ---")
+        print(stream.getvalue())
+    return docs
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the telemetry suite; write/compare ``BENCH_*.json``."""
     from .obs import (
@@ -547,7 +584,10 @@ def cmd_bench(args: argparse.Namespace) -> int:
         else:
             names = list(benchmark_names())
         try:
-            docs = run_benchmarks(names, jobs=args.jobs)
+            if args.profile:
+                docs = _profiled_benchmarks(names, args)
+            else:
+                docs = run_benchmarks(names, jobs=args.jobs)
         except ValueError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -873,6 +913,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run benchmarks across N worker processes "
                         "(default %(default)s; deterministic counters are "
                         "identical for any N)")
+    p.add_argument("--profile", action="store_true",
+                   help="run each benchmark under cProfile: dump "
+                        "PROFILE_<name>.pstats next to the documents and "
+                        "print a top-N cumulative table (wall metrics "
+                        "include profiler overhead)")
+    p.add_argument("--profile-top", type=int, default=15, metavar="N",
+                   help="rows in the --profile table (default %(default)s)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

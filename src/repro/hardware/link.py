@@ -12,6 +12,7 @@ motivates the branching-paths broadcast of Section 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Any
 
 
@@ -34,9 +35,14 @@ class LinkInfo:
     copy_at_v: int
     active: bool = True
 
-    @property
+    @cached_property
     def key(self) -> tuple[Any, Any]:
-        """Canonical undirected identifier of the link."""
+        """Canonical undirected identifier of the link.
+
+        Cached: the ``repr`` comparison runs once per snapshot, not per
+        use (``cached_property`` writes straight into ``__dict__``, so
+        it coexists with ``frozen=True``).
+        """
         return (self.u, self.v) if repr(self.u) <= repr(self.v) else (self.v, self.u)
 
     def reversed(self) -> "LinkInfo":
@@ -72,6 +78,12 @@ class Link:
             node_v.node_id: (normal_at_v, copy_at_v),
         }
         self.active = True
+        #: Canonical undirected identifier ``(min, max)`` of endpoints.
+        #: Computed once here — the forwarding hot path reads it per hop
+        #: (delay model, metrics, traces) and the old per-access ``repr``
+        #: comparison was measurable.
+        a, b = node_u.node_id, node_v.node_id
+        self.key: tuple[Any, Any] = (a, b) if repr(a) <= repr(b) else (b, a)
         #: Per-direction FIFO watermark: latest arrival time already
         #: promised on this link, keyed by the *sending* node id.
         self._last_arrival: dict[Any, float] = {
@@ -82,12 +94,6 @@ class Link:
     # ------------------------------------------------------------------
     # Topology helpers
     # ------------------------------------------------------------------
-    @property
-    def key(self) -> tuple[Any, Any]:
-        """Canonical undirected identifier ``(min, max)`` of endpoints."""
-        a, b = self.node_u.node_id, self.node_v.node_id
-        return (a, b) if repr(a) <= repr(b) else (b, a)
-
     def other(self, node_id: Any) -> Any:
         """The node object at the far end from ``node_id``."""
         if node_id == self.node_u.node_id:

@@ -42,6 +42,21 @@ class JobKind(Enum):
     LINK_EVENT = "link_event"
 
 
+#: Memoised ``"timer:<tag>"`` labels.  Periodic protocols format the
+#: same handful of tags millions of times (event tag + accounting kind,
+#: every tick); the tag universe is protocol-chosen and tiny, so a
+#: process-wide cache is safe and turns two f-strings per tick into
+#: dict hits.
+_TIMER_LABELS: dict[str, str] = {}
+
+
+def _timer_label(tag: str) -> str:
+    label = _TIMER_LABELS.get(tag)
+    if label is None:
+        label = _TIMER_LABELS[tag] = f"timer:{tag}"
+    return label
+
+
 @dataclass(slots=True)
 class Job:
     """One unit of NCU work (= one system call once served)."""
@@ -62,7 +77,7 @@ class Job:
             payload = self.payload.payload if isinstance(self.payload, Packet) else None
             return getattr(payload, "kind", JobKind.PACKET.value)
         if self.kind is JobKind.TIMER and self.tag:
-            return f"timer:{self.tag}"
+            return _timer_label(self.tag)
         return self.kind.value
 
 
@@ -145,22 +160,21 @@ class NodeApi:
         Returns the underlying event; cancelling it prevents the job
         from being enqueued (an already-enqueued job cannot be recalled).
         """
+        return self._node.net.scheduler.schedule(
+            delay,
+            self._timer_fire,
+            priority=2,
+            tag=_timer_label(tag),
+            args=(tag, payload),
+        )
+
+    def _timer_fire(self, tag: str, payload: Any) -> None:
         node = self._node
-
-        def fire() -> None:
-            node.net.trace.record(
-                node.net.scheduler.now, TraceKind.TIMER_FIRED, node.node_id, tag=tag
-            )
-            node.ncu.enqueue(
-                Job(
-                    kind=JobKind.TIMER,
-                    payload=payload,
-                    tag=tag,
-                    enqueued_at=node.net.scheduler.now,
-                )
-            )
-
-        return node.net.scheduler.schedule(delay, fire, priority=2, tag=f"timer:{tag}")
+        net = node.net
+        trace = net.trace
+        if trace.enabled:
+            trace.record(net.scheduler.now, TraceKind.TIMER_FIRED, node.node_id, tag=tag)
+        node.ncu.enqueue(Job(JobKind.TIMER, payload, tag, net.scheduler.now))
 
     def report(self, key: str, value: Any) -> None:
         """Publish a named output (read by drivers and tests)."""
@@ -181,6 +195,9 @@ class NCU:
         self._queue: deque[Job] = deque()
         self._busy = False
         self._job_seq = 0
+        #: Long-lived completion callback: scheduling ``_complete`` via
+        #: ``args`` avoids binding a fresh closure per service slot.
+        self._complete_cb = self._complete
         #: Set by the network when a protocol is attached.
         self.handler: Callable[[NodeApi, Job], None] | None = None
         #: While a handler runs, the set of first-header IDs (output
@@ -206,13 +223,7 @@ class NCU:
     # ------------------------------------------------------------------
     def enqueue_packet(self, packet: Packet) -> None:
         """A copy has been delivered by the SS toward this NCU."""
-        self.enqueue(
-            Job(
-                kind=JobKind.PACKET,
-                payload=packet,
-                enqueued_at=self._node.net.scheduler.now,
-            )
-        )
+        self.enqueue(Job(JobKind.PACKET, packet, "", self._node.net.scheduler.now))
 
     def enqueue(self, job: Job) -> None:
         """Queue one job; begins service immediately if the NCU is idle."""
@@ -233,22 +244,24 @@ class NCU:
         job = self._queue.popleft()
         self._busy = True
         self._job_seq += 1
-        net.metrics.count_system_call(self._node.node_id, job.accounting_kind)
-        net.trace.record(
-            net.scheduler.now,
-            TraceKind.NCU_JOB_START,
-            self._node.node_id,
-            job=job.accounting_kind,
-            packet=job.payload.seq if isinstance(job.payload, Packet) else None,
-        )
+        # ``accounting_kind`` walks the payload; compute it once per slot.
+        kind = job.accounting_kind
+        net.metrics.count_system_call(self._node.node_id, kind)
+        trace = net.trace
+        if trace.enabled:
+            trace.record(
+                net.scheduler.now,
+                TraceKind.NCU_JOB_START,
+                self._node.node_id,
+                job=kind,
+                packet=job.payload.seq if isinstance(job.payload, Packet) else None,
+            )
         service = net.delays.software_delay(self._node.node_id, self._job_seq)
         probe = net.probe
         if probe is not None:
-            probe.ncu_job_start(
-                self._node.node_id, job.accounting_kind, net.scheduler.now, service
-            )
+            probe.ncu_job_start(self._node.node_id, kind, net.scheduler.now, service)
         net.scheduler.schedule(
-            service, lambda: self._complete(job), priority=1, tag="ncu"
+            service, self._complete_cb, priority=1, tag="ncu", args=(job,)
         )
 
     def _complete(self, job: Job) -> None:
@@ -259,12 +272,14 @@ class NCU:
             self.handler(self._node.api, job)
         finally:
             self.ports_used_this_call = None
-            net.trace.record(
-                net.scheduler.now,
-                TraceKind.NCU_JOB_END,
-                self._node.node_id,
-                job=job.accounting_kind,
-            )
+            trace = net.trace
+            if trace.enabled:
+                trace.record(
+                    net.scheduler.now,
+                    TraceKind.NCU_JOB_END,
+                    self._node.node_id,
+                    job=job.accounting_kind,
+                )
             probe = net.probe
             if probe is not None:
                 probe.ncu_job_end(

@@ -94,13 +94,15 @@ class Node:
             injected_at=self.net.scheduler.now,
         )
         self.net.metrics.count_injection(self.node_id, len(header))
-        self.net.trace.record(
-            self.net.scheduler.now,
-            TraceKind.PACKET_INJECTED,
-            self.node_id,
-            packet=packet.seq,
-            header_len=len(header),
-        )
+        trace = self.net.trace
+        if trace.enabled:
+            trace.record(
+                self.net.scheduler.now,
+                TraceKind.PACKET_INJECTED,
+                self.node_id,
+                packet=packet.seq,
+                header_len=len(header),
+            )
         self.ss.receive(packet, None)
         return packet
 

@@ -7,16 +7,34 @@ as an arbitrary Python object; :mod:`repro.hardware.ids` provides the
 bit-level view where it matters (header length accounting, tests).
 
 Packets also accumulate a **reverse ANR** as they travel: at each hop
-the normal ID of the traversed link *at the receiving side* is pushed
-onto the front, so a receiver holds a ready-made route back to the
-sender.  This realises the paper's assumption (Section 2) that "a
+the normal ID of the traversed link *at the receiving side* is recorded,
+so a receiver holds a ready-made route back to the sender (most recent
+hop first).  This realises the paper's assumption (Section 2) that "a
 receiver will be able to send a packet back to the sender" via one of
 the known techniques (reverse-path accumulation is the one we model).
+
+Hot-path layout
+---------------
+Forwarding a packet must be O(1) per hop, matching the paper's premise
+that hardware switching is nearly free.  So:
+
+* ``header`` is the **immutable** as-injected header; the switching
+  subsystem consumes IDs by advancing the integer cursor
+  ``header_pos`` instead of re-slicing a shrinking tuple (which made a
+  d-hop route O(d²) in copied IDs).
+* the reverse ANR grows by *appending* the hop's receiving-side ID to
+  the internal ``_reverse`` list; the paper-ordered tuple (most recent
+  hop first) is materialised only when :attr:`reverse_anr` is read —
+  i.e. at delivery / ``reply_route`` time, never per hop.
+
+``header_pos`` and ``_reverse`` are internal to the hardware layer (see
+``docs/API.md``): protocols should read :attr:`remaining_header` and
+:attr:`reverse_anr`, which preserve the original tuple semantics.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Any
 
 
@@ -31,19 +49,18 @@ class Packet:
     origin:
         Node whose NCU injected the packet.
     header:
-        Remaining ANR header: the IDs not yet consumed by a switch.
+        The full ANR header as injected; never mutated in flight.
     payload:
         Opaque protocol data; never examined by the hardware, matching
         the paper's assumption that software delay does not depend on
         message content.
     hops:
         Links traversed so far.
-    reverse_anr:
-        Accumulated route back to the origin (receiving-side normal IDs,
-        most recent hop first).  Append ``NCU_ID`` to address the
-        origin's NCU — see :func:`repro.hardware.anr.reply_route`.
     injected_at:
         Simulated time of injection.
+    header_pos:
+        Cursor into ``header``: IDs before it have been consumed by
+        switches.  Internal — use :attr:`remaining_header`.
     """
 
     seq: int
@@ -51,23 +68,57 @@ class Packet:
     header: tuple[int, ...]
     payload: Any
     hops: int = 0
-    reverse_anr: tuple[int, ...] = ()
     injected_at: float = 0.0
-    _header_len_at_injection: int = field(default=0)
+    header_pos: int = 0
+    #: Receiving-side normal IDs in hop order (oldest first); internal —
+    #: read :attr:`reverse_anr` for the paper's most-recent-first view.
+    _reverse: list[int] = field(default_factory=list)
+    _header_len_at_injection: int | None = None
 
     def __post_init__(self) -> None:
-        if self._header_len_at_injection == 0:
+        # ``None`` sentinel, not falsy-zero: a legitimately empty
+        # injected header must still freeze its (zero) length here.
+        if self._header_len_at_injection is None:
             self._header_len_at_injection = len(self.header)
 
     @property
     def original_header_length(self) -> int:
         """Length (in IDs) of the header as injected; compared to dmax."""
-        return self._header_len_at_injection
+        return self._header_len_at_injection  # type: ignore[return-value]
+
+    @property
+    def remaining_header(self) -> tuple[int, ...]:
+        """The IDs not yet consumed by a switch."""
+        return self.header[self.header_pos:]
+
+    @property
+    def reverse_anr(self) -> tuple[int, ...]:
+        """Accumulated route back to the origin (receiving-side normal
+        IDs, most recent hop first).  Append ``NCU_ID`` to address the
+        origin's NCU — see :func:`repro.hardware.anr.reply_route`."""
+        return tuple(self._reverse[::-1])
+
+    @reverse_anr.setter
+    def reverse_anr(self, value: tuple[int, ...]) -> None:
+        self._reverse = list(value)[::-1]
 
     def delivery_copy(self) -> "Packet":
         """Snapshot handed to an NCU when a copy ID (or the NCU ID) fires.
 
         The in-flight packet object keeps moving, so the NCU gets its
         own frozen view of the remaining header and reverse path.
+        Hand-rolled rather than ``dataclasses.replace`` — this runs once
+        per selective copy and ``replace`` re-enters ``__init__`` /
+        ``__post_init__`` with keyword plumbing the hot path can't afford.
         """
-        return replace(self)
+        copy = Packet.__new__(Packet)
+        copy.seq = self.seq
+        copy.origin = self.origin
+        copy.header = self.header
+        copy.payload = self.payload
+        copy.hops = self.hops
+        copy.injected_at = self.injected_at
+        copy.header_pos = self.header_pos
+        copy._reverse = self._reverse[:]
+        copy._header_len_at_injection = self._header_len_at_injection
+        return copy

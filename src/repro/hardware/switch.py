@@ -13,6 +13,23 @@ incident link whose ID set contains ``x``:
 Everything in this module runs at hardware speed: the only delays are
 the per-hop hardware delay ``C`` charged when a packet is forwarded
 over a link.  No system calls are counted here.
+
+Hot path
+--------
+``receive`` → ``_forward`` → (scheduler) → ``_deliver`` → ``receive`` is
+the per-hop cycle and must be allocation-free in steady state:
+
+* the header is consumed by advancing ``packet.header_pos``, never by
+  slicing (O(1) per hop instead of O(remaining header));
+* the ID-set match is one dict lookup into a **port table** built at
+  attach time, whose entries pre-resolve everything a hop needs (link,
+  far node ID, the receiving side's normal ID, the far SS's bound
+  ``_deliver``), so no ``other()`` / ``ids_at()`` / ``repr`` work is
+  redone per packet;
+* the in-flight leg is scheduled as the far side's long-lived
+  ``_deliver`` bound method plus ``args`` — no per-hop closure;
+* trace records are guarded on ``trace.enabled`` so a disabled trace
+  costs one attribute load, not a kwargs dict.
 """
 
 from __future__ import annotations
@@ -27,6 +44,10 @@ from .packet import Packet
 if TYPE_CHECKING:  # pragma: no cover
     from .node import Node
 
+#: One outbound port, pre-resolved at attach time:
+#: ``(link, far node id, normal ID at the far side, far SS._deliver)``.
+Port = tuple[Link, object, int, "object"]
+
 
 class SwitchingSubsystem:
     """Per-node hardware switch with the paper's ID-set semantics."""
@@ -34,8 +55,10 @@ class SwitchingSubsystem:
     def __init__(self, node: "Node", id_space: LinkIdSpace) -> None:
         self._node = node
         self._id_space = id_space
-        #: Both the normal and the copy ID of a link map to it.
-        self._link_by_id: dict[int, Link] = {}
+        #: Both the normal and the copy ID of a link map to its port.
+        self._port_by_id: dict[int, Port] = {}
+        #: Link object -> port, for multicast groups (links hash by id).
+        self._port_by_link: dict[Link, Port] = {}
         #: IDs that also match the NCU link (all copy IDs).
         self._ncu_copy_ids: set[int] = set()
         #: Installed multicast groups: id -> (member links, copy to NCU).
@@ -52,12 +75,16 @@ class SwitchingSubsystem:
         """Register a link's IDs (called once per link at build time)."""
         normal, copy = link.ids_at(self._node.node_id)
         for link_id in (normal, copy):
-            if link_id in self._link_by_id:
+            if link_id in self._port_by_id:
                 raise ValueError(
                     f"duplicate link ID {link_id} at node {self._node.node_id}"
                 )
-        self._link_by_id[normal] = link
-        self._link_by_id[copy] = link
+        other = link.other(self._node.node_id)
+        receiving_normal, _ = link.ids_at(other.node_id)
+        port: Port = (link, other.node_id, receiving_normal, other.ss._deliver)
+        self._port_by_id[normal] = port
+        self._port_by_id[copy] = port
+        self._port_by_link[link] = port
         self._ncu_copy_ids.add(copy)
 
     # ------------------------------------------------------------------
@@ -97,31 +124,37 @@ class SwitchingSubsystem:
         if to_ncu:
             copy = packet.delivery_copy()
             net.metrics.count_copy(me)
-            net.trace.record(
-                net.scheduler.now,
-                TraceKind.PACKET_COPIED,
-                me,
-                packet=packet.seq,
-                group=group_id,
-            )
+            trace = net.trace
+            if trace.enabled:
+                trace.record(
+                    net.scheduler.now,
+                    TraceKind.PACKET_COPIED,
+                    me,
+                    packet=packet.seq,
+                    group=group_id,
+                )
             self._node.ncu.enqueue_packet(copy)
         # The dmax guard doubles as cycle protection: a mis-installed
         # cyclic group drops its packets instead of replicating forever.
         if packet.hops >= self._node.net.dmax:
             if links:
                 net.metrics.count_drop("group_hop_limit")
-                net.trace.record(
-                    net.scheduler.now,
-                    TraceKind.PACKET_DROPPED,
-                    me,
-                    packet=packet.seq,
-                    reason="group_hop_limit",
-                )
+                trace = net.trace
+                if trace.enabled:
+                    trace.record(
+                        net.scheduler.now,
+                        TraceKind.PACKET_DROPPED,
+                        me,
+                        packet=packet.seq,
+                        reason="group_hop_limit",
+                    )
             return
+        remainder = packet.header[packet.header_pos:]
         for link in links:
             branch = packet.delivery_copy()
-            branch.header = (group_id,) + packet.header
-            self._forward(branch, link)
+            branch.header = (group_id,) + remainder
+            branch.header_pos = 0
+            self._forward(branch, self._port_by_link[link])
 
     # ------------------------------------------------------------------
     # Forwarding
@@ -135,100 +168,119 @@ class SwitchingSubsystem:
         """
         net = self._node.net
         me = self._node.node_id
-        if not packet.header:
+        header = packet.header
+        pos = packet.header_pos
+        if pos >= len(header):
             net.metrics.count_drop("header_exhausted")
-            net.trace.record(
-                net.scheduler.now,
-                TraceKind.PACKET_DROPPED,
-                me,
-                packet=packet.seq,
-                reason="header_exhausted",
-            )
+            trace = net.trace
+            if trace.enabled:
+                trace.record(
+                    net.scheduler.now,
+                    TraceKind.PACKET_DROPPED,
+                    me,
+                    packet=packet.seq,
+                    reason="header_exhausted",
+                )
             return
 
-        next_id = packet.header[0]
-        packet.header = packet.header[1:]
+        next_id = header[pos]
+        packet.header_pos = pos + 1
 
         if next_id in self._groups:
             self._receive_group(packet, next_id)
             return
 
         to_ncu = next_id == NCU_ID or next_id in self._ncu_copy_ids
-        out_link = self._link_by_id.get(next_id)
+        port = self._port_by_id.get(next_id)
 
         if to_ncu:
             copy = packet.delivery_copy()
             net.metrics.count_copy(me)
-            net.trace.record(
-                net.scheduler.now,
-                TraceKind.PACKET_COPIED,
-                me,
-                packet=packet.seq,
-                final=out_link is None,
-            )
+            trace = net.trace
+            if trace.enabled:
+                trace.record(
+                    net.scheduler.now,
+                    TraceKind.PACKET_COPIED,
+                    me,
+                    packet=packet.seq,
+                    final=port is None,
+                )
             self._node.ncu.enqueue_packet(copy)
 
-        if out_link is not None:
-            self._forward(packet, out_link)
+        if port is not None:
+            self._forward(packet, port)
         elif not to_ncu:
             net.metrics.count_drop("unroutable_id")
-            net.trace.record(
-                net.scheduler.now,
-                TraceKind.PACKET_DROPPED,
-                me,
-                packet=packet.seq,
-                reason="unroutable_id",
-                id=next_id,
-            )
-
-    def _forward(self, packet: Packet, link: Link) -> None:
-        """Send the packet onward over one link, charging the C delay."""
-        net = self._node.net
-        me = self._node.node_id
-        if not link.active:
-            net.metrics.count_drop("inactive_link")
-            net.trace.record(
-                net.scheduler.now,
-                TraceKind.PACKET_DROPPED,
-                me,
-                packet=packet.seq,
-                reason="inactive_link",
-                link=link.key,
-            )
-            return
-
-        other = link.other(me)
-        delay = net.delays.hardware_delay(link.key, packet.seq)
-        arrival = link.fifo_arrival(me, net.scheduler.now + delay)
-        packet.hops += 1
-        receiving_normal, _ = link.ids_at(other.node_id)
-        packet.reverse_anr = (receiving_normal,) + packet.reverse_anr
-        net.metrics.count_hop(link.key)
-        probe = net.probe
-        if probe is not None:
-            probe.hop(link.key, net.scheduler.now)
-        net.trace.record(
-            net.scheduler.now,
-            TraceKind.PACKET_HOP,
-            me,
-            packet=packet.seq,
-            link=link.key,
-            to=other.node_id,
-        )
-
-        def deliver() -> None:
-            # A link that went down while the packet was in flight loses it.
-            if not link.active:
-                net.metrics.count_drop("inactive_link")
-                net.trace.record(
+            trace = net.trace
+            if trace.enabled:
+                trace.record(
                     net.scheduler.now,
                     TraceKind.PACKET_DROPPED,
-                    other.node_id,
+                    me,
+                    packet=packet.seq,
+                    reason="unroutable_id",
+                    id=next_id,
+                )
+
+    def _forward(self, packet: Packet, port: Port) -> None:
+        """Send the packet onward over one port, charging the C delay."""
+        net = self._node.net
+        me = self._node.node_id
+        link, other_id, receiving_normal, deliver = port
+        if not link.active:
+            net.metrics.count_drop("inactive_link")
+            trace = net.trace
+            if trace.enabled:
+                trace.record(
+                    net.scheduler.now,
+                    TraceKind.PACKET_DROPPED,
+                    me,
                     packet=packet.seq,
                     reason="inactive_link",
                     link=link.key,
                 )
-                return
-            other.ss.receive(packet, link)
+            return
 
-        net.scheduler.schedule_at(arrival, deliver, priority=0, tag="hop")
+        now = net.scheduler.now
+        delay = net.delays.hardware_delay(link.key, packet.seq)
+        arrival = link.fifo_arrival(me, now + delay)
+        packet.hops += 1
+        packet._reverse.append(receiving_normal)
+        net.metrics.count_hop(link.key)
+        probe = net.probe
+        if probe is not None:
+            probe.hop(link.key, now)
+        trace = net.trace
+        if trace.enabled:
+            trace.record(
+                now,
+                TraceKind.PACKET_HOP,
+                me,
+                packet=packet.seq,
+                link=link.key,
+                to=other_id,
+            )
+        net.scheduler.schedule_at(
+            arrival, deliver, priority=0, tag="hop", args=(packet, link)
+        )
+
+    def _deliver(self, packet: Packet, link: Link) -> None:
+        """Arrival at this side of ``link``; the scheduled hop payload.
+
+        A link that went down while the packet was in flight loses it.
+        """
+        if not link.active:
+            net = self._node.net
+            net.metrics.count_drop("inactive_link")
+            trace = net.trace
+            if trace.enabled:
+                trace.record(
+                    net.scheduler.now,
+                    TraceKind.PACKET_DROPPED,
+                    self._node.node_id,
+                    packet=packet.seq,
+                    reason="inactive_link",
+                    link=link.key,
+                )
+            return
+        self.receive(packet, link)

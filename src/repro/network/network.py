@@ -219,13 +219,14 @@ class Network:
         if link.active == active:
             return
         link.active = active
-        self.trace.record(
-            self.scheduler.now,
-            TraceKind.LINK_STATE,
-            None,
-            link=link.key,
-            active=active,
-        )
+        if self.trace.enabled:
+            self.trace.record(
+                self.scheduler.now,
+                TraceKind.LINK_STATE,
+                None,
+                link=link.key,
+                active=active,
+            )
         self._datalink.link_changed(link)
 
     # ------------------------------------------------------------------

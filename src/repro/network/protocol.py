@@ -51,14 +51,20 @@ class Protocol:
     # NCU plumbing
     # ------------------------------------------------------------------
     def dispatch(self, api: NodeApi, job: Job) -> None:
-        """Route one NCU job to the matching hook (called by the NCU)."""
-        if job.kind is JobKind.START:
-            self.on_start(job.payload)
-        elif job.kind is JobKind.PACKET:
+        """Route one NCU job to the matching hook (called by the NCU).
+
+        Branches ordered by frequency: packets and timers are the
+        steady-state jobs; START fires once per node and link events
+        only on topology changes.
+        """
+        kind = job.kind
+        if kind is JobKind.PACKET:
             self.on_packet(job.payload)
-        elif job.kind is JobKind.TIMER:
+        elif kind is JobKind.TIMER:
             self.on_timer(job.tag, job.payload)
-        elif job.kind is JobKind.LINK_EVENT:
+        elif kind is JobKind.START:
+            self.on_start(job.payload)
+        elif kind is JobKind.LINK_EVENT:
             self.on_link_change(job.payload)
         else:  # pragma: no cover - enum is closed
             raise ProtocolError(f"unknown job kind {job.kind!r}")

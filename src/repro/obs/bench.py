@@ -184,6 +184,48 @@ def _bench_scheduler_churn() -> tuple[dict[str, float], RunManifest]:
     return metrics, manifest
 
 
+def _bench_hotpath_forwarding() -> tuple[dict[str, float], RunManifest]:
+    """Pure switching-fabric throughput: long ANR routes, idle NCUs.
+
+    Streams packets end-to-end down a 64-node line with maximal source
+    routes, so almost every event is a hardware hop (``receive`` →
+    ``_forward`` → ``_deliver``).  This is the microbenchmark for the
+    per-hop cost model in ``docs/PERFORMANCE.md``: header cursoring,
+    port-table lookup and the closure-free hop scheduling show up here
+    undiluted by protocol work.
+    """
+    from ..hardware.anr import build_anr
+    from ..network.builder import from_spec
+    from ..network.protocol import Protocol
+    from ..sim import FixedDelays
+
+    length, packets = 64, 200
+    net = from_spec(f"line:{length}", delays=FixedDelays(0.1, 1.0))
+    net.attach(lambda api: Protocol(api))  # deliveries terminate quietly
+    header = build_anr(list(range(length)), net.id_lookup)
+    source = net.node(0)
+
+    def drive() -> None:
+        # Staggered injections keep ~60 packets in flight at once, so
+        # the heap churns under realistic interleaving, not lockstep.
+        for i in range(packets):
+            net.scheduler.schedule_at(
+                0.01 * i, source.inject, args=(header, i), tag="inject"
+            )
+        net.run_to_quiescence(max_events=10_000_000)
+
+    metrics = _timed(net, drive)
+    metrics["hops_per_packet"] = float(net.metrics.hops) / packets
+    manifest = RunManifest.collect(
+        net,
+        command="bench:hotpath_forwarding",
+        topology=f"line:{length}",
+        C=0.1,
+        P=1.0,
+    )
+    return metrics, manifest
+
+
 #: The registry `repro bench` runs, in execution order.
 BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("broadcast_grid", "bpaths broadcast, grid:8,8 (Thm 2 counters)",
@@ -194,6 +236,8 @@ BENCHMARKS: tuple[Benchmark, ...] = (
               _bench_election_ring),
     Benchmark("scheduler_churn", "timer-chain event-loop throughput",
               _bench_scheduler_churn),
+    Benchmark("hotpath_forwarding", "end-to-end ANR streaming, line:64",
+              _bench_hotpath_forwarding),
 )
 
 _BY_NAME = {bench.name: bench for bench in BENCHMARKS}

@@ -1,22 +1,34 @@
 """Event objects for the discrete-event scheduler.
 
-An :class:`Event` couples a firing time with a zero-argument callable.
-Events are totally ordered by ``(time, priority, seq)`` where ``seq`` is
-a monotonically increasing insertion counter; this makes simulation runs
-fully deterministic even when many events share a firing time (which is
-the common case in the paper's limiting model where hardware delays are
-zero).
+An :class:`Event` couples a firing time with a callable (plus optional
+pre-bound ``args``).  Events are totally ordered by ``(time, priority,
+seq)`` where ``seq`` is a monotonically increasing insertion counter;
+this makes simulation runs fully deterministic even when many events
+share a firing time (which is the common case in the paper's limiting
+model where hardware delays are zero).
+
+The scheduler assigns ``seq`` from its **own** per-scheduler counter, so
+an event stream — and anything exported from it — never depends on how
+many simulations ran earlier in the same process (load-bearing for the
+campaign engine's byte-identity guarantees with in-process workers).
+The module-level counter below only serves hand-constructed events in
+tests and benchmarks, keeping bare ``Event(...)`` orderable.
+
+Performance note: the scheduler's heap stores ``(time, priority, seq,
+event)`` tuples, so heap sifts compare tuples in C instead of calling
+the dataclass-generated ``__lt__`` — which used to dominate heap cost.
+``order=True`` is kept for callers that heap raw events themselves.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
-#: Global insertion counter shared by all schedulers in the process.  A
-#: per-scheduler counter would work equally well; a module-level counter
-#: keeps :class:`Event` trivially constructible in tests.
+#: Fallback insertion counter for events constructed outside a
+#: scheduler (tests, standalone benchmarks).  Scheduler-created events
+#: get their ``seq`` from the scheduler's per-instance counter instead.
 _SEQ = itertools.count()
 
 
@@ -37,9 +49,13 @@ class Event:
         its next job.
     seq:
         Insertion counter; guarantees FIFO order among otherwise equal
-        events and makes the heap ordering total.
+        events and makes the ordering total.
     action:
-        Zero-argument callable executed when the event fires.
+        Callable executed when the event fires, as ``action(*args)``.
+    args:
+        Pre-bound positional arguments for ``action``.  Hot paths pass a
+        long-lived bound method plus ``args`` instead of allocating a
+        fresh closure per event.
     tag:
         Free-form label used by traces and tests.
     cancelled:
@@ -53,7 +69,8 @@ class Event:
     time: float
     priority: int = 0
     seq: int = field(default_factory=lambda: next(_SEQ))
-    action: Callable[[], None] = field(compare=False, default=lambda: None)
+    action: Callable[..., None] = field(compare=False, default=lambda: None)
+    args: tuple[Any, ...] = field(compare=False, default=())
     tag: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
     on_cancel: Callable[[], None] | None = field(compare=False, default=None)

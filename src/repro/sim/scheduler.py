@@ -10,13 +10,24 @@ Determinism
 Runs are reproducible bit-for-bit: events are ordered by
 ``(time, priority, insertion sequence)`` and any randomness lives in the
 delay models, which take explicit seeds.  This property is load-bearing
-for the test suite, which asserts exact system-call counts.
+for the test suite, which asserts exact system-call counts.  The
+insertion sequence is **per scheduler**, so two networks simulated in
+the same process produce identical event streams regardless of order.
+
+Performance
+-----------
+The heap stores ``(time, priority, seq, event)`` tuples, not events:
+heap sifts then compare tuples in C instead of invoking the dataclass
+``__lt__``, which used to dominate heap operations.  ``seq`` is unique
+per scheduler, so a comparison never reaches the event object.  Hot
+callers avoid per-event closures by passing a long-lived callable plus
+``args`` (see :class:`~repro.sim.events.Event`).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterator
+from typing import Any, Callable, Iterator
 
 from .errors import SimulationError
 from .events import Event
@@ -24,13 +35,17 @@ from .events import Event
 #: Signature of a scheduler observer: called with each event just fired.
 Observer = Callable[[Event], None]
 
+#: One heap entry: ``(time, priority, seq, event)``.
+HeapEntry = tuple[float, int, int, Event]
+
 
 class Scheduler:
     """Priority-queue driven simulation loop."""
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
+        self._queue: list[HeapEntry] = []
         self._now: float = 0.0
+        self._seq: int = 0
         self._events_processed: int = 0
         self._running = False
         #: Cancelled events still sitting in the heap.  Maintained via
@@ -99,7 +114,7 @@ class Scheduler:
         self._drop_cancelled()
         if not self._queue:
             return None
-        return self._queue[0].time
+        return self._queue[0][0]
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -107,12 +122,13 @@ class Scheduler:
     def schedule(
         self,
         delay: float,
-        action: Callable[[], None],
+        action: Callable[..., None],
         *,
         priority: int = 0,
         tag: str = "",
+        args: tuple[Any, ...] = (),
     ) -> Event:
-        """Schedule ``action`` to run ``delay`` time units from now.
+        """Schedule ``action(*args)`` to run ``delay`` time units from now.
 
         ``delay`` must be non-negative; zero-delay events are legal and
         fire after all events already queued for the current instant
@@ -120,37 +136,50 @@ class Scheduler:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        event = Event(
-            time=self._now + delay,
-            priority=priority,
-            action=action,
-            tag=tag,
-            on_cancel=self._note_cancelled_cb,
-        )
-        heapq.heappush(self._queue, event)
+        time = self._now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        # Hand-rolled construction: this is the hottest allocation in a
+        # simulation, and the generated dataclass __init__ plus kwargs
+        # is measurable at that volume.
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.action = action
+        event.args = args
+        event.tag = tag
+        event.cancelled = False
+        event.on_cancel = self._note_cancelled_cb
+        heapq.heappush(self._queue, (time, priority, seq, event))
         return event
 
     def schedule_at(
         self,
         time: float,
-        action: Callable[[], None],
+        action: Callable[..., None],
         *,
         priority: int = 0,
         tag: str = "",
+        args: tuple[Any, ...] = (),
     ) -> Event:
-        """Schedule ``action`` at an absolute simulated time."""
+        """Schedule ``action(*args)`` at an absolute simulated time."""
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        event = Event(
-            time=time,
-            priority=priority,
-            action=action,
-            tag=tag,
-            on_cancel=self._note_cancelled_cb,
-        )
-        heapq.heappush(self._queue, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.action = action
+        event.args = args
+        event.tag = tag
+        event.cancelled = False
+        event.on_cancel = self._note_cancelled_cb
+        heapq.heappush(self._queue, (time, priority, seq, event))
         return event
 
     # ------------------------------------------------------------------
@@ -191,21 +220,23 @@ class Scheduler:
         pop = heapq.heappop
         try:
             while True:
-                while queue and queue[0].cancelled:
+                while queue and queue[0][3].cancelled:
                     pop(queue)
                     self._cancelled_pending -= 1
                 if not queue:
                     break
-                event = queue[0]
-                if until is not None and event.time > until:
+                entry = queue[0]
+                time = entry[0]
+                if until is not None and time > until:
                     self._now = max(self._now, until)
                     break
                 pop(queue)
+                event = entry[3]
                 # A late cancel() on an already-fired event must not
                 # skew the live count.
                 event.on_cancel = None
-                self._now = event.time
-                event.action()
+                self._now = time
+                event.action(*event.args)
                 self._events_processed += 1
                 if observers:
                     for observer in observers:
@@ -227,10 +258,11 @@ class Scheduler:
         self._drop_cancelled()
         if not self._queue:
             return False
-        event = heapq.heappop(self._queue)
+        entry = heapq.heappop(self._queue)
+        event = entry[3]
         event.on_cancel = None
-        self._now = event.time
-        event.action()
+        self._now = entry[0]
+        event.action(*event.args)
         self._events_processed += 1
         if self._observers:
             for observer in self._observers:
@@ -249,6 +281,6 @@ class Scheduler:
         self._cancelled_pending += 1
 
     def _drop_cancelled(self) -> None:
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
             self._cancelled_pending -= 1

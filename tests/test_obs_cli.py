@@ -269,6 +269,36 @@ def test_bench_threshold_override_loosens_gate(tmp_path, capsys):
     ]) == 0
 
 
+def test_bench_hotpath_forwarding_counters(tmp_path):
+    doc_dir = tmp_path / "out"
+    assert main([
+        "bench", "--name", "hotpath_forwarding", "--out-dir", str(doc_dir),
+    ]) == 0
+    doc = json.loads((doc_dir / "BENCH_hotpath_forwarding.json").read_text())
+    metrics = doc["metrics"]
+    # 200 packets x 63 hops down the line:64, one delivery call each —
+    # deterministic, so exact equality is the right assertion.
+    assert metrics["hops"] == 200 * 63
+    assert metrics["system_calls"] == 200
+    assert metrics["hops_per_packet"] == 63.0
+    assert doc["manifest"]["command"] == "bench:hotpath_forwarding"
+
+
+def test_bench_profile_dumps_stats_and_prints_table(tmp_path, capsys):
+    doc_dir = tmp_path / "out"
+    assert main([
+        "bench", "--name", "broadcast_grid", "--out-dir", str(doc_dir),
+        "--profile", "--profile-top", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "profile: broadcast_grid" in out
+    assert "cumulative" in out  # pstats table header made it to stdout
+    assert "profiling inflates wall_ms" in out  # the wall-metric caveat
+    assert (doc_dir / "PROFILE_broadcast_grid.pstats").exists()
+    # The benchmark document is still written alongside the profile.
+    assert (doc_dir / "BENCH_broadcast_grid.json").exists()
+
+
 def test_bench_usage_errors(tmp_path, capsys):
     assert main(["bench", "--name", "nope"]) == 2
     assert main([

@@ -12,9 +12,34 @@ def make(header=(1, 2, 0), payload="x"):
 def test_original_header_length_is_frozen():
     packet = make(header=(1, 2, 3, 0))
     assert packet.original_header_length == 4
-    packet.header = packet.header[1:]
+    packet.header_pos += 1
     assert packet.original_header_length == 4
-    assert packet.header == (2, 3, 0)
+    assert packet.remaining_header == (2, 3, 0)
+
+
+def test_original_header_length_empty_header():
+    # An empty injected header is legitimately length zero — the
+    # ``None`` sentinel in ``__post_init__`` must not treat it as unset.
+    packet = make(header=())
+    assert packet.original_header_length == 0
+    assert packet.remaining_header == ()
+
+
+def test_header_is_immutable_in_flight():
+    packet = make(header=(1, 2, 0))
+    packet.header_pos = 2
+    assert packet.header == (1, 2, 0)
+    assert packet.remaining_header == (0,)
+
+
+def test_reverse_anr_round_trips_most_recent_first():
+    packet = make()
+    packet.reverse_anr = (5, 6)
+    # The setter/getter pair preserves the paper's most-recent-first
+    # ordering regardless of the internal append-order storage.
+    assert packet.reverse_anr == (5, 6)
+    packet._reverse.append(9)  # hardware records one more hop
+    assert packet.reverse_anr == (9, 5, 6)
 
 
 def test_delivery_copy_is_independent_snapshot():
@@ -22,14 +47,25 @@ def test_delivery_copy_is_independent_snapshot():
     packet.hops = 2
     packet.reverse_anr = (5, 6)
     copy = packet.delivery_copy()
-    packet.header = ()
+    packet.header_pos = 3
     packet.hops = 9
     packet.reverse_anr = (7,)
     assert copy.header == (1, 2, 0)
+    assert copy.header_pos == 0
+    assert copy.remaining_header == (1, 2, 0)
     assert copy.hops == 2
     assert copy.reverse_anr == (5, 6)
     assert copy.payload == "x"
     assert copy.seq == packet.seq
+
+
+def test_delivery_copy_reverse_list_not_aliased():
+    packet = make()
+    packet.reverse_anr = (5,)
+    copy = packet.delivery_copy()
+    packet._reverse.append(6)
+    assert copy.reverse_anr == (5,)
+    assert packet.reverse_anr == (6, 5)
 
 
 def test_payload_shared_not_copied():
