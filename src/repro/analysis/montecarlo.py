@@ -106,13 +106,20 @@ def sweep(
     root: int = 0,
     jobs: int = 1,
     cache: str | Path | None = None,
+    **params: object,
 ) -> Summary:
-    """Run ``experiment(seed)`` for each seed and summarise the results.
+    """Run ``experiment(seed, **params)`` per seed and summarise.
 
     ``seeds`` may be an iterable of seeds or an int n, meaning n
     independent seeds derived from ``root`` (see :func:`resolve_seeds`).
     The seed set is validated up front, so an empty sweep fails before
     the first experiment runs.
+
+    Extra keyword arguments are forwarded to every experiment call —
+    e.g. ``sweep("repro.exec.workloads:election_calls_per_node", 200,
+    topology="random:64,16")`` pins the topology so only the delays
+    vary, which lets the workload serve every seed from its worker's
+    substrate pool (built once, reset per seed) instead of rebuilding.
 
     With ``jobs > 1`` or a ``cache`` directory, the sweep becomes a
     campaign (:mod:`repro.exec`): ``experiment`` must then be a
@@ -123,13 +130,13 @@ def sweep(
     resolved = resolve_seeds(seeds, root=root)
     if jobs <= 1 and cache is None:
         return Summary(
-            samples=tuple(float(experiment(seed)) for seed in resolved)
+            samples=tuple(float(experiment(seed, **params)) for seed in resolved)
         )
     from ..exec import TaskSpec, fn_path, run_campaign
 
     path = experiment if isinstance(experiment, str) else fn_path(experiment)
     specs = [
-        TaskSpec.make(path, seed=seed, label=f"mc[{i}]:{path}")
+        TaskSpec.make(path, seed=seed, label=f"mc[{i}]:{path}", **params)
         for i, seed in enumerate(resolved)
     ]
     outcome = run_campaign(specs, jobs=jobs, cache=cache)

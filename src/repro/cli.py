@@ -655,18 +655,35 @@ def _campaign_specs(args: argparse.Namespace) -> tuple[list, dict]:
     elif args.workload == "montecarlo":
         from .sim import derive_seed
 
-        specs = [
-            TaskSpec.make(
-                "repro.exec.workloads:election_calls_per_node",
-                seed=derive_seed(args.root_seed, "montecarlo", i),
-                n=args.n,
-                edge_prob=args.edge_prob,
-                label=f"mc[{i}](n={args.n})",
-            )
-            for i in range(args.seeds)
-        ]
-        params = {"seeds": args.seeds, "root_seed": args.root_seed,
-                  "n": args.n, "edge_prob": args.edge_prob}
+        if args.topology is not None:
+            # Fixed topology: only the delays vary with the seed, so
+            # every worker serves the campaign from its substrate pool
+            # (the REPRO_SUBSTRATE_REUSE env var gates reuse without
+            # entering the spec params or the rows).
+            specs = [
+                TaskSpec.make(
+                    "repro.exec.workloads:election_calls_per_node",
+                    seed=derive_seed(args.root_seed, "montecarlo", i),
+                    topology=args.topology,
+                    label=f"mc[{i}]({args.topology})",
+                )
+                for i in range(args.seeds)
+            ]
+            params = {"seeds": args.seeds, "root_seed": args.root_seed,
+                      "topology": args.topology}
+        else:
+            specs = [
+                TaskSpec.make(
+                    "repro.exec.workloads:election_calls_per_node",
+                    seed=derive_seed(args.root_seed, "montecarlo", i),
+                    n=args.n,
+                    edge_prob=args.edge_prob,
+                    label=f"mc[{i}](n={args.n})",
+                )
+                for i in range(args.seeds)
+            ]
+            params = {"seeds": args.seeds, "root_seed": args.root_seed,
+                      "n": args.n, "edge_prob": args.edge_prob}
     else:  # bench
         from .obs import benchmark_names
 
@@ -972,6 +989,11 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--edge-prob", type=float, default=0.18,
                       help="montecarlo: random-graph edge probability "
                            "(default %(default)s)")
+    grid.add_argument("--topology", default=None, metavar="SPEC",
+                      help="montecarlo: pin the topology to a builder spec "
+                           "(e.g. random:64,16); only delays vary per seed, "
+                           "and workers reuse pooled substrates (overrides "
+                           "--n/--edge-prob)")
     grid.add_argument("--names", default=None, metavar="LIST",
                       help="bench: comma list of benchmarks (default: all)")
     p.set_defaults(func=cmd_campaign)

@@ -18,6 +18,7 @@ from .engine import (
     TaskResult,
     run_campaign,
 )
+from .substrate import REUSE_ENV_VAR, SubstratePool, reuse_enabled, worker_pool
 from .task import (
     SpecError,
     TaskSpec,
@@ -32,14 +33,18 @@ __all__ = [
     "CampaignOutcome",
     "CacheEntry",
     "DEFAULT_CACHE_DIR",
+    "REUSE_ENV_VAR",
     "ResultCache",
     "STATUSES",
     "SpecError",
+    "SubstratePool",
     "TaskResult",
     "TaskSpec",
     "canonical_json",
     "code_fingerprint",
     "fn_path",
     "resolve_fn",
+    "reuse_enabled",
     "run_campaign",
+    "worker_pool",
 ]

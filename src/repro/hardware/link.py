@@ -70,6 +70,7 @@ class Link:
         copy_at_u: int,
         normal_at_v: int,
         copy_at_v: int,
+        key: tuple[Any, Any] | None = None,
     ) -> None:
         self.node_u = node_u
         self.node_v = node_v
@@ -81,9 +82,12 @@ class Link:
         #: Canonical undirected identifier ``(min, max)`` of endpoints.
         #: Computed once here — the forwarding hot path reads it per hop
         #: (delay model, metrics, traces) and the old per-access ``repr``
-        #: comparison was measurable.
-        a, b = node_u.node_id, node_v.node_id
-        self.key: tuple[Any, Any] = (a, b) if repr(a) <= repr(b) else (b, a)
+        #: comparison was measurable.  Bulk builders that already hold
+        #: the repr-sorted node order pass ``key`` precomputed.
+        if key is None:
+            a, b = node_u.node_id, node_v.node_id
+            key = (a, b) if repr(a) <= repr(b) else (b, a)
+        self.key: tuple[Any, Any] = key
         #: Per-direction FIFO watermark: latest arrival time already
         #: promised on this link, keyed by the *sending* node id.
         self._last_arrival: dict[Any, float] = {
@@ -120,6 +124,21 @@ class Link:
             copy_at_v=copy_v,
             active=self.active,
         )
+
+    # ------------------------------------------------------------------
+    # Substrate reuse
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Restore the pristine post-build state: active, FIFO idle.
+
+        IDs, endpoints and ``key`` are build products and stay put —
+        that is the whole point of substrate reuse (see
+        :meth:`repro.network.network.Network.reset`).
+        """
+        self.active = True
+        watermarks = self._last_arrival
+        for sender in watermarks:
+            watermarks[sender] = 0.0
 
     # ------------------------------------------------------------------
     # FIFO bookkeeping

@@ -208,6 +208,20 @@ class NCU:
         #: packets through the same port needs two involvements.
         self.ports_used_this_call: set[int] | None = None
 
+    def reset(self) -> None:
+        """Restore the pristine pre-``attach()`` state.
+
+        Drops queued jobs, clears the handler and restarts the job
+        sequence so a reused substrate draws the same software delays
+        as a freshly built one.  Part of the substrate-reuse contract
+        (see :meth:`repro.network.network.Network.reset`).
+        """
+        self._queue.clear()
+        self._busy = False
+        self._job_seq = 0
+        self.handler = None
+        self.ports_used_this_call = None
+
     @property
     def busy(self) -> bool:
         """Whether a job is currently in service."""

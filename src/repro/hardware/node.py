@@ -36,8 +36,14 @@ class Node:
         #: The protocol instance attached to this node (if any).
         self.protocol: Any = None
 
-    def add_link(self, link: Link) -> None:
-        """Register an incident link (build time only)."""
+    def add_link(self, link: Link, *, build_ports: bool = True) -> None:
+        """Register an incident link (build time only).
+
+        ``build_ports=False`` defers the SS port-table entry; the
+        builder then calls :meth:`SwitchingSubsystem.build_ports` once
+        per node after all links exist (one bulk pass instead of
+        per-link incremental inserts).
+        """
         other = link.other(self.node_id)
         if other.node_id in self.links:
             raise ValueError(
@@ -45,7 +51,20 @@ class Node:
                 "assumes a simple graph"
             )
         self.links[other.node_id] = link
-        self.ss.attach_link(link)
+        if build_ports:
+            self.ss.attach_link(link)
+
+    def reset(self) -> None:
+        """Restore the pristine pre-``attach()`` state.
+
+        Detaches the protocol and resets the NCU and SS run-time state;
+        the link registry and port tables are build products and stay.
+        Part of the substrate-reuse contract (see
+        :meth:`repro.network.network.Network.reset`).
+        """
+        self.protocol = None
+        self.ncu.reset()
+        self.ss.reset()
 
     def link_to(self, neighbor_id: Any) -> Link:
         """The link toward a neighbour (KeyError if not adjacent)."""

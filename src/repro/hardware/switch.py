@@ -87,6 +87,42 @@ class SwitchingSubsystem:
         self._port_by_link[link] = port
         self._ncu_copy_ids.add(copy)
 
+    def build_ports(self) -> None:
+        """Bulk-(re)build the port table from the node's registered links.
+
+        One pass over ``node.links``, no per-link duplicate checks: the
+        network builder hands this SS a simple graph with IDs assigned
+        uniquely by construction, so the incremental validation in
+        :meth:`attach_link` would only re-prove invariants the builder
+        already guarantees.  Replaces the table wholesale.
+        """
+        me = self._node.node_id
+        port_by_id: dict[int, Port] = {}
+        port_by_link: dict[Link, Port] = {}
+        ncu_copy_ids: set[int] = set()
+        for link in self._node.links.values():
+            normal, copy = link._ids[me]
+            other = link.other(me)
+            receiving_normal = link._ids[other.node_id][0]
+            port: Port = (link, other.node_id, receiving_normal, other.ss._deliver)
+            port_by_id[normal] = port
+            port_by_id[copy] = port
+            port_by_link[link] = port
+            ncu_copy_ids.add(copy)
+        self._port_by_id = port_by_id
+        self._port_by_link = port_by_link
+        self._ncu_copy_ids = ncu_copy_ids
+
+    def reset(self) -> None:
+        """Drop run-time hardware state (installed multicast groups).
+
+        The port table survives: it is pure build product, derived only
+        from the topology and the ID assignment.  Part of the
+        substrate-reuse contract (see
+        :meth:`repro.network.network.Network.reset`).
+        """
+        self._groups.clear()
+
     # ------------------------------------------------------------------
     # Multicast groups (hardware extension)
     # ------------------------------------------------------------------

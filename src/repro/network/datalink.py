@@ -35,6 +35,16 @@ class DataLinkMonitor:
         #: further change happened in the meantime.
         self._epoch: dict[tuple, int] = {}
 
+    def reset(self) -> None:
+        """Forget all pending/stale notifications (substrate reuse).
+
+        The epoch counters only exist to invalidate notifications that
+        are still in flight on the *old* scheduler; after a network
+        reset that scheduler is gone, so a clean slate reproduces the
+        freshly built monitor exactly.
+        """
+        self._epoch.clear()
+
     def link_changed(self, link: Link) -> None:
         """Called by the network whenever a link flips state."""
         epoch = self._epoch.get(link.key, 0) + 1

@@ -65,31 +65,49 @@ class Network:
         self._group_seq = itertools.count(0)
         self._datalink = DataLinkMonitor(self, delay=datalink_delay)
 
+        #: Bumped whenever a link changes state; the derived-view caches
+        #: (``active_graph`` / ``adjacency`` / ``diameter``) key on it.
+        self._topology_version = 0
+        self._active_graph_cache: tuple[int, nx.Graph] | None = None
+        self._adjacency_cache: tuple[int, dict[Any, tuple[Any, ...]]] | None = None
+        self._diameter_cache: tuple[int, int] | None = None
+
         max_degree = max((d for _, d in self.graph.degree), default=1)
         id_space = LinkIdSpace(capacity=max(max_degree, 1))
         self.id_space = id_space
 
+        # The repr of every node is needed many times below (node order,
+        # edge order, link keys); compute each exactly once.
+        reprs = {node_id: repr(node_id) for node_id in self.graph.nodes}
         self.nodes: dict[Any, Node] = {
             node_id: Node(node_id, self, id_space)
-            for node_id in sorted(self.graph.nodes, key=repr)
+            for node_id in sorted(reprs, key=reprs.__getitem__)
         }
         self.links: dict[tuple[Any, Any], Link] = {}
         link_index: dict[Any, int] = {node_id: 0 for node_id in self.nodes}
-        for u, v in sorted(self.graph.edges, key=lambda e: (repr(e[0]), repr(e[1]))):
+        flag = id_space.flag
+        for u, v in sorted(
+            self.graph.edges, key=lambda e: (reprs[e[0]], reprs[e[1]])
+        ):
             iu, iv = link_index[u], link_index[v]
-            link_index[u] += 1
-            link_index[v] += 1
+            link_index[u] = iu + 1
+            link_index[v] = iv + 1
+            normal_u = id_space.normal_id(iu)
+            normal_v = id_space.normal_id(iv)
             link = Link(
                 self.nodes[u],
                 self.nodes[v],
-                normal_at_u=id_space.normal_id(iu),
-                copy_at_u=id_space.copy_id(iu),
-                normal_at_v=id_space.normal_id(iv),
-                copy_at_v=id_space.copy_id(iv),
+                normal_at_u=normal_u,
+                copy_at_u=flag | normal_u,
+                normal_at_v=normal_v,
+                copy_at_v=flag | normal_v,
+                key=(u, v) if reprs[u] <= reprs[v] else (v, u),
             )
-            self.nodes[u].add_link(link)
-            self.nodes[v].add_link(link)
+            self.nodes[u].add_link(link, build_ports=False)
+            self.nodes[v].add_link(link, build_ports=False)
             self.links[link.key] = link
+        for node in self.nodes.values():
+            node.ss.build_ports()
 
     # ------------------------------------------------------------------
     # Shape
@@ -114,15 +132,85 @@ class Network:
         return self.links[key]
 
     def diameter(self) -> int:
-        """Hop diameter of the (current, active) topology."""
-        return nx.diameter(self.active_graph())
+        """Hop diameter of the (current, active) topology.
+
+        Memoised on the topology version: repeated calls with unchanged
+        link state are one tuple compare, no graph rebuild and no BFS.
+        """
+        cached = self._diameter_cache
+        version = self._topology_version
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        diameter = nx.diameter(self.active_graph())
+        self._diameter_cache = (version, diameter)
+        return diameter
 
     def active_graph(self) -> nx.Graph:
-        """The topology restricted to active links."""
+        """The topology restricted to active links.
+
+        Memoised on the topology version; callers share the cached
+        graph, so treat it as a read-only view (copy before mutating).
+        """
+        cached = self._active_graph_cache
+        version = self._topology_version
+        if cached is not None and cached[0] == version:
+            return cached[1]
         g = nx.Graph()
         g.add_nodes_from(self.graph.nodes)
         g.add_edges_from(key for key, link in self.links.items() if link.active)
+        self._active_graph_cache = (version, g)
         return g
+
+    # ------------------------------------------------------------------
+    # Substrate reuse
+    # ------------------------------------------------------------------
+    def reset(self, *, delays: DelayModel | None = None) -> "Network":
+        """Restore this network to its pristine pre-:meth:`attach` state.
+
+        The expensive build products survive — node objects, links,
+        SS port tables, ID assignments, ``Link.key``\\s, the copied
+        graph — while every piece of *run* state is renewed: a fresh
+        :class:`Scheduler` (time 0, sequence 0), fresh
+        :class:`MetricsCollector` and :class:`Trace` (same
+        ``enabled``/``capacity`` configuration), empty outputs, no
+        protocol/handler on any node, empty NCU queues, no installed
+        multicast groups, all links active with FIFO watermarks at 0,
+        restarted packet/group sequences, a cleared data-link monitor
+        and no observability probe.
+
+        The contract is **bit-identity**: a workload run on a reset
+        network produces byte-for-byte the same metrics, drop reasons,
+        routes and trace stream as on a freshly constructed one (locked
+        by the golden-equivalence suite).  What reset deliberately does
+        NOT renew is the delay model — models with RNG state
+        (:class:`~repro.sim.delays.RandomDelays`) keep their stream
+        unless a replacement is passed via ``delays``; pass a freshly
+        seeded model to reproduce a fresh build exactly.
+
+        Returns ``self`` so callers can chain ``net.reset().attach(...)``.
+        """
+        self.scheduler = Scheduler()
+        self.metrics = MetricsCollector()
+        self.trace = Trace(enabled=self.trace.enabled, capacity=self.trace.capacity)
+        self.outputs = {}
+        self.probe = None
+        self._packet_seq = itertools.count(1)
+        self._group_seq = itertools.count(0)
+        if delays is not None:
+            self.delays = delays
+        self._datalink.reset()
+        topology_touched = False
+        for link in self.links.values():
+            if not link.active:
+                topology_touched = True
+            link.reset()
+        if topology_touched:
+            # Links came back up: invalidate the derived-view caches.
+            # When nothing ever failed they stay warm across resets.
+            self._topology_version += 1
+        for node in self.nodes.values():
+            node.reset()
+        return self
 
     # ------------------------------------------------------------------
     # Protocol lifecycle
@@ -148,14 +236,14 @@ class Network:
             at = self.scheduler.now
         targets = list(self.nodes) if node_ids is None else list(node_ids)
         for node_id in targets:
-            node = self.nodes[node_id]
+            # Long-lived bound method + args, not a per-node closure —
+            # the convention every hot scheduling site follows.
             self.scheduler.schedule_at(
                 at,
-                lambda node=node: node.ncu.enqueue(
-                    Job(kind=JobKind.START, payload=payload, enqueued_at=at)
-                ),
+                self.nodes[node_id].ncu.enqueue,
                 priority=2,
                 tag="start",
+                args=(Job(kind=JobKind.START, payload=payload, enqueued_at=at),),
             )
 
     def run(self, **kwargs: Any) -> float:
@@ -208,17 +296,18 @@ class Network:
 
     def schedule_link_failure(self, u: Any, v: Any, at: float) -> None:
         """Deactivate a link at a future simulated time."""
-        self.scheduler.schedule_at(at, lambda: self.fail_link(u, v), tag="fail")
+        self.scheduler.schedule_at(at, self.fail_link, tag="fail", args=(u, v))
 
     def schedule_link_restore(self, u: Any, v: Any, at: float) -> None:
         """Reactivate a link at a future simulated time."""
-        self.scheduler.schedule_at(at, lambda: self.restore_link(u, v), tag="restore")
+        self.scheduler.schedule_at(at, self.restore_link, tag="restore", args=(u, v))
 
     def _set_link_state(self, u: Any, v: Any, *, active: bool) -> None:
         link = self.link(u, v)
         if link.active == active:
             return
         link.active = active
+        self._topology_version += 1
         if self.trace.enabled:
             self.trace.record(
                 self.scheduler.now,
@@ -265,9 +354,19 @@ class Network:
         return group_id
 
     def adjacency(self) -> Mapping[Any, tuple[Any, ...]]:
-        """Deterministic adjacency view of the active topology."""
+        """Deterministic adjacency view of the active topology.
+
+        Memoised on the topology version; callers share the cached
+        mapping, so treat it as a read-only view.
+        """
+        cached = self._adjacency_cache
+        version = self._topology_version
+        if cached is not None and cached[0] == version:
+            return cached[1]
         g = self.active_graph()
-        return {
+        adjacency = {
             node: tuple(sorted(g.neighbors(node), key=repr))
             for node in sorted(g.nodes, key=repr)
         }
+        self._adjacency_cache = (version, adjacency)
+        return adjacency

@@ -11,11 +11,73 @@ paper's analyses distinguish:
 * **rings** — the classic leader-election battleground;
 * **grids, hypercubes, random graphs** — generic multi-path topologies
   for topology-maintenance experiments with failures.
+
+Generators are memoised: campaigns rebuild the same parameterised
+topology hundreds of times (once per seed), and the expensive ones —
+rejection-sampled random graphs — cost orders of magnitude more than a
+dict hit.  Every call returns a **private copy** of the cached graph, so
+callers may mutate their result freely.  ``cache_info`` and
+``cache_clear`` expose the cache for tests and long-lived processes.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from functools import wraps
+from typing import Callable
+
 import networkx as nx
+
+#: Bounded FIFO-evicted generator cache: (fn name, args, kwargs) -> graph.
+_CACHE_MAX = 128
+_cache: OrderedDict[tuple, nx.Graph] = OrderedDict()
+_hits = 0
+_misses = 0
+
+
+def _memoised(fn: Callable[..., nx.Graph]) -> Callable[..., nx.Graph]:
+    """Memoise a generator on its parameters; return copies of the hit.
+
+    Invalid parameters raise inside ``fn`` before anything is cached, so
+    error behaviour is unchanged.  The copy preserves node attributes
+    (geometric layouts carry ``pos``).
+    """
+
+    @wraps(fn)
+    def wrapper(*args: object, **kwargs: object) -> nx.Graph:
+        global _hits, _misses
+        key = (fn.__name__, args, tuple(sorted(kwargs.items())))
+        cached = _cache.get(key)
+        if cached is None:
+            _misses += 1
+            cached = fn(*args, **kwargs)
+            _cache[key] = cached
+            while len(_cache) > _CACHE_MAX:
+                _cache.popitem(last=False)
+        else:
+            _hits += 1
+            _cache.move_to_end(key)
+        return cached.copy()
+
+    return wrapper
+
+
+def cache_info() -> dict[str, int]:
+    """Hit/miss/size counters for the generator cache."""
+    return {
+        "hits": _hits,
+        "misses": _misses,
+        "size": len(_cache),
+        "max_size": _CACHE_MAX,
+    }
+
+
+def cache_clear() -> None:
+    """Empty the generator cache and zero its counters."""
+    global _hits, _misses
+    _cache.clear()
+    _hits = 0
+    _misses = 0
 
 
 def _relabel(graph: nx.Graph) -> nx.Graph:
@@ -24,6 +86,7 @@ def _relabel(graph: nx.Graph) -> nx.Graph:
     return nx.relabel_nodes(graph, mapping)
 
 
+@_memoised
 def line(n: int) -> nx.Graph:
     """Path graph on ``n`` nodes."""
     if n < 1:
@@ -31,6 +94,7 @@ def line(n: int) -> nx.Graph:
     return nx.path_graph(n)
 
 
+@_memoised
 def ring(n: int) -> nx.Graph:
     """Cycle on ``n >= 3`` nodes."""
     if n < 3:
@@ -38,6 +102,7 @@ def ring(n: int) -> nx.Graph:
     return nx.cycle_graph(n)
 
 
+@_memoised
 def star(n: int) -> nx.Graph:
     """Star: node 0 is the hub, nodes 1..n-1 are leaves."""
     if n < 2:
@@ -45,6 +110,7 @@ def star(n: int) -> nx.Graph:
     return nx.star_graph(n - 1)
 
 
+@_memoised
 def complete(n: int) -> nx.Graph:
     """Complete graph K_n — the Section 5 setting."""
     if n < 1:
@@ -52,6 +118,7 @@ def complete(n: int) -> nx.Graph:
     return nx.complete_graph(n)
 
 
+@_memoised
 def grid(rows: int, cols: int) -> nx.Graph:
     """2-D grid, relabelled to integers row-major."""
     if rows < 1 or cols < 1:
@@ -59,6 +126,7 @@ def grid(rows: int, cols: int) -> nx.Graph:
     return _relabel(nx.grid_2d_graph(rows, cols))
 
 
+@_memoised
 def hypercube(dim: int) -> nx.Graph:
     """Binary hypercube of the given dimension (2**dim nodes)."""
     if dim < 1:
@@ -66,6 +134,7 @@ def hypercube(dim: int) -> nx.Graph:
     return _relabel(nx.hypercube_graph(dim))
 
 
+@_memoised
 def complete_binary_tree(depth: int) -> nx.Graph:
     """Complete binary tree of the given depth (root = node 0).
 
@@ -86,6 +155,7 @@ def complete_binary_tree(depth: int) -> nx.Graph:
     return g
 
 
+@_memoised
 def balanced_tree(branching: int, height: int) -> nx.Graph:
     """Balanced ``branching``-ary tree of the given height (root = 0)."""
     if branching < 1 or height < 0:
@@ -93,6 +163,7 @@ def balanced_tree(branching: int, height: int) -> nx.Graph:
     return _relabel(nx.balanced_tree(branching, height))
 
 
+@_memoised
 def caterpillar(spine: int, legs_per_node: int) -> nx.Graph:
     """A spine path with ``legs_per_node`` leaves hanging off each node.
 
@@ -111,6 +182,7 @@ def caterpillar(spine: int, legs_per_node: int) -> nx.Graph:
     return g
 
 
+@_memoised
 def broom(handle: int, bristles: int) -> nx.Graph:
     """A path of length ``handle`` ending in a star of ``bristles`` leaves.
 
@@ -127,6 +199,7 @@ def broom(handle: int, bristles: int) -> nx.Graph:
     return g
 
 
+@_memoised
 def random_connected(n: int, p: float, seed: int = 0, max_tries: int = 200) -> nx.Graph:
     """Erdős–Rényi G(n, p), resampled until connected."""
     if n < 1:
@@ -140,6 +213,7 @@ def random_connected(n: int, p: float, seed: int = 0, max_tries: int = 200) -> n
     raise ValueError(f"could not sample a connected G({n}, {p}) in {max_tries} tries")
 
 
+@_memoised
 def random_geometric_connected(
     n: int, radius: float, seed: int = 0, max_tries: int = 200
 ) -> nx.Graph:
@@ -158,6 +232,7 @@ def random_geometric_connected(
     )
 
 
+@_memoised
 def barbell(clique: int, path: int) -> nx.Graph:
     """Two cliques of size ``clique`` joined by a path of ``path`` nodes."""
     if clique < 3:
@@ -165,6 +240,7 @@ def barbell(clique: int, path: int) -> nx.Graph:
     return nx.barbell_graph(clique, path)
 
 
+@_memoised
 def two_connected_example() -> nx.Graph:
     """The six-node graph of the Section 3 non-convergence example.
 

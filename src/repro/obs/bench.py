@@ -36,7 +36,7 @@ from ..metrics.report import format_table
 from .manifest import RunManifest
 
 #: Metrics where a *drop* (ratio below threshold) is the regression.
-HIGHER_IS_BETTER = frozenset({"events_per_sec"})
+HIGHER_IS_BETTER = frozenset({"events_per_sec", "reuse_speedup"})
 
 #: Default allowed current/baseline ratio per metric.  Deterministic
 #: counters fall back to 1.0 (any increase regresses); wall-clock noise
@@ -44,6 +44,10 @@ HIGHER_IS_BETTER = frozenset({"events_per_sec"})
 DEFAULT_THRESHOLDS: dict[str, float] = {
     "wall_ms": 2.0,
     "events_per_sec": 0.5,
+    "build_ms": 2.0,
+    "reuse_run_ms": 2.0,
+    "rebuild_run_ms": 2.0,
+    "reuse_speedup": 0.5,
 }
 
 #: Tolerance on the ratio comparison (floats in, floats out).
@@ -226,6 +230,96 @@ def _bench_hotpath_forwarding() -> tuple[dict[str, float], RunManifest]:
     return metrics, manifest
 
 
+def _bench_substrate_reuse() -> tuple[dict[str, float], RunManifest]:
+    """Cold-path benchmark: 200-seed Monte-Carlo, reuse vs rebuild.
+
+    Runs the same fixed-topology campaign (the ``anr_roundtrip_time``
+    workload: per-seed random delays, one ping-pong to the farthest
+    node on ``random:64,16``) twice per repeat — once acquiring every
+    substrate through a :class:`~repro.exec.substrate.SubstratePool`
+    (build once, reset per seed) and once rebuilding per seed — and
+    reports the best-of-5 wall time of each leg plus their ratio
+    (``reuse_speedup``, higher is better).  The deterministic totals of
+    both legs are cross-checked for exact equality every repeat, so the
+    speedup can never come from doing different work.
+    """
+    from ..exec.substrate import SubstratePool
+    from ..exec.workloads import _roundtrip_route, _run_roundtrip
+    from ..network.builder import from_spec
+    from ..sim import RandomDelays
+
+    topology, seeds, repeats = "random:64,16", 200, 5
+
+    def delays(seed: int) -> RandomDelays:
+        return RandomDelays(hardware=0.4, software=1.0, seed=seed)
+
+    net = from_spec(topology)
+    route = _roundtrip_route(net, topology)
+
+    def run_leg(acquire) -> tuple[float, tuple[float, ...]]:
+        """One 200-seed campaign; returns (wall seconds, counter totals)."""
+        system_calls = hops = events = 0
+        sim_time = rtt_sum = 0.0
+        t0 = time.perf_counter()
+        for seed in range(seeds):
+            leg_net = acquire(seed)
+            row = _run_roundtrip(leg_net, route)
+            system_calls += int(row["system_calls"])
+            hops += int(row["hops"])
+            events += leg_net.scheduler.events_processed
+            sim_time += row["final_time"]
+            rtt_sum += row["rtt"]
+        wall = time.perf_counter() - t0
+        return wall, (float(system_calls), float(hops), float(events),
+                      sim_time, rtt_sum)
+
+    pool = SubstratePool()
+    best_reuse = best_rebuild = float("inf")
+    totals: tuple[float, ...] | None = None
+    for _ in range(repeats):
+        reuse_wall, reuse_totals = run_leg(
+            lambda seed: pool.acquire(topology, delays=delays(seed))
+        )
+        rebuild_wall, rebuild_totals = run_leg(
+            lambda seed: from_spec(topology, delays=delays(seed))
+        )
+        if reuse_totals != rebuild_totals:
+            raise RuntimeError(
+                "substrate reuse changed the simulation: "
+                f"reuse totals {reuse_totals} != rebuild totals {rebuild_totals}"
+            )
+        totals = reuse_totals
+        best_reuse = min(best_reuse, reuse_wall)
+        best_rebuild = min(best_rebuild, rebuild_wall)
+
+    build_ms = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        from_spec(topology, delays=delays(0))
+        build_ms = min(build_ms, (time.perf_counter() - t0) * 1000.0)
+
+    assert totals is not None
+    system_calls, hops, events, sim_time, rtt_sum = totals
+    metrics = {
+        "seeds": float(seeds),
+        "system_calls": system_calls,
+        "hops": hops,
+        "sim_time": sim_time,
+        "rtt_total": rtt_sum,
+        "events": events,
+        "build_ms": build_ms,
+        "reuse_run_ms": best_reuse * 1000.0,
+        "rebuild_run_ms": best_rebuild * 1000.0,
+        "reuse_speedup": best_rebuild / best_reuse if best_reuse > 0 else 0.0,
+        "wall_ms": (best_reuse + best_rebuild) * 1000.0,
+        "events_per_sec": events / best_reuse if best_reuse > 0 else 0.0,
+    }
+    manifest = RunManifest.collect(
+        net, command="bench:substrate_reuse", topology=topology, C=0.4, P=1.0
+    )
+    return metrics, manifest
+
+
 #: The registry `repro bench` runs, in execution order.
 BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("broadcast_grid", "bpaths broadcast, grid:8,8 (Thm 2 counters)",
@@ -238,6 +332,8 @@ BENCHMARKS: tuple[Benchmark, ...] = (
               _bench_scheduler_churn),
     Benchmark("hotpath_forwarding", "end-to-end ANR streaming, line:64",
               _bench_hotpath_forwarding),
+    Benchmark("substrate_reuse", "200-seed Monte-Carlo, pooled reset vs rebuild",
+              _bench_substrate_reuse),
 )
 
 _BY_NAME = {bench.name: bench for bench in BENCHMARKS}

@@ -114,9 +114,24 @@ def _document(net, deliveries: list) -> Any:
     return json.loads(json.dumps(doc, sort_keys=True, default=repr))
 
 
-def _scenario_flood_random() -> Any:
+# Each scenario is split into a delay-model factory, a builder and a
+# driver so the substrate-reuse suite (tests/test_substrate_reuse.py)
+# can build one network and drive it repeatedly through ``reset()``,
+# diffing each run against the same golden document.  The factories
+# matter for the RandomDelays scenario: the model owns RNG state, so a
+# reset run must receive a *fresh* model to reproduce a fresh build.
+
+
+def _delays_flood_random():
+    return FixedDelays(0.5, 1.0)
+
+
+def _build_flood_random():
+    return from_spec("random:24,7", delays=_delays_flood_random(), trace=True)
+
+
+def _drive_flood_random(net) -> Any:
     """Flooding on a random connected graph, nonzero hardware delay."""
-    net = from_spec("random:24,7", delays=FixedDelays(0.5, 1.0), trace=True)
     deliveries: list = []
     run_standalone_broadcast(
         net,
@@ -126,9 +141,16 @@ def _scenario_flood_random() -> Any:
     return _document(net, deliveries)
 
 
-def _scenario_bpaths_grid() -> Any:
+def _delays_bpaths_grid():
+    return FixedDelays(0.0, 1.0)
+
+
+def _build_bpaths_grid():
+    return from_spec("grid:5,5", delays=_delays_bpaths_grid(), trace=True)
+
+
+def _drive_bpaths_grid(net) -> Any:
     """Branching-paths broadcast on a grid in the limiting model."""
-    net = from_spec("grid:5,5", delays=FixedDelays(0.0, 1.0), trace=True)
     adjacency = net.adjacency()
     run_standalone_broadcast(
         net,
@@ -140,14 +162,17 @@ def _scenario_bpaths_grid() -> Any:
     return _document(net, deliveries=[])
 
 
-def _scenario_failures() -> Any:
+def _delays_failures():
+    return RandomDelays(hardware=2.5, software=1.0, lo_frac=0.2, seed=11)
+
+
+def _build_failures():
+    return from_spec("grid:4,4", delays=_delays_failures(), trace=True)
+
+
+def _drive_failures(net) -> Any:
     """Flooding under random delays, mid-run link failures and
     malformed injections that exercise every hardware drop path."""
-    net = from_spec(
-        "grid:4,4",
-        delays=RandomDelays(hardware=2.5, software=1.0, lo_frac=0.2, seed=11),
-        trace=True,
-    )
     deliveries: list = []
     net.attach(lambda api: RecordingFlood(api, root=0, body="f", sink=deliveries))
 
@@ -192,10 +217,19 @@ def _scenario_failures() -> Any:
     return _document(net, deliveries)
 
 
+#: name -> (builder, driver, fresh-delay-model factory).  The reuse
+#: suite imports this to re-drive one substrate across resets.
+SCENARIO_PARTS = {
+    "flood_random": (_build_flood_random, _drive_flood_random,
+                     _delays_flood_random),
+    "bpaths_grid": (_build_bpaths_grid, _drive_bpaths_grid,
+                    _delays_bpaths_grid),
+    "failures": (_build_failures, _drive_failures, _delays_failures),
+}
+
 SCENARIOS = {
-    "flood_random": _scenario_flood_random,
-    "bpaths_grid": _scenario_bpaths_grid,
-    "failures": _scenario_failures,
+    name: (lambda build=build, drive=drive: drive(build()))
+    for name, (build, drive, _) in SCENARIO_PARTS.items()
 }
 
 
