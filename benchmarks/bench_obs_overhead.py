@@ -26,11 +26,16 @@ from __future__ import annotations
 
 import heapq
 import timeit
+from contextlib import contextmanager
 
 from conftest import emit
 
+from repro.hardware.ncu import NCU
+from repro.hardware.switch import SwitchingSubsystem
+from repro.sim.errors import SimulationError
 from repro.sim.events import Event
 from repro.sim.scheduler import Scheduler
+from repro.sim.trace import TraceKind
 
 CHAINS = 64
 EVENTS_PER_CHAIN = 600
@@ -161,6 +166,252 @@ def test_disabled_hooks_within_noise_of_seed_loop(capsys):
     assert ratio <= TOLERANCE, (
         f"dormant observability hooks cost {ratio:.3f}x the seed loop "
         f"(budget {TOLERANCE}x); the zero-overhead guarantee is broken"
+    )
+
+
+# ----------------------------------------------------------------------
+# E16b — dormant perf counters on the forwarding hot path
+# ----------------------------------------------------------------------
+# PR 6 added perf-counter hooks (``perf = x.perf; if perf is not None``)
+# to four hot functions: Scheduler.schedule/schedule_at (push count),
+# Scheduler.run (pop count + wall timer) and SwitchingSubsystem._forward
+# (hop count), plus a timed region in NCU._complete.  The replicas below
+# are those functions with exactly the perf lines removed — the same
+# methodology as SeedScheduler above, applied per-function so the gate
+# isolates precisely the code this PR added.  The classes are patched
+# *before* the network is built because SS port tables capture bound
+# ``_deliver`` methods (and the NCU its ``_complete_cb``) at build time.
+
+FWD_LENGTH = 64
+FWD_PACKETS = 200
+FWD_REPEATS = 7
+
+
+def _schedule_noperf(self, delay, action, *, priority=0, tag="", args=()):
+    if delay < 0:
+        raise SimulationError(f"cannot schedule into the past (delay={delay})")
+    time = self._now + delay
+    seq = self._seq
+    self._seq = seq + 1
+    event = Event.__new__(Event)
+    event.time = time
+    event.priority = priority
+    event.seq = seq
+    event.action = action
+    event.args = args
+    event.tag = tag
+    event.cancelled = False
+    event.on_cancel = self._note_cancelled_cb
+    heapq.heappush(self._queue, (time, priority, seq, event))
+    return event
+
+
+def _schedule_at_noperf(self, time, action, *, priority=0, tag="", args=()):
+    if time < self._now:
+        raise SimulationError(
+            f"cannot schedule at {time}, current time is {self._now}"
+        )
+    seq = self._seq
+    self._seq = seq + 1
+    event = Event.__new__(Event)
+    event.time = time
+    event.priority = priority
+    event.seq = seq
+    event.action = action
+    event.args = args
+    event.tag = tag
+    event.cancelled = False
+    event.on_cancel = self._note_cancelled_cb
+    heapq.heappush(self._queue, (time, priority, seq, event))
+    return event
+
+
+def _run_noperf(self, *, until=None, max_events=None, stop_when=None):
+    if self._running:
+        raise SimulationError("scheduler is already running (re-entrant run)")
+    self._running = True
+    fired = 0
+    observers = self._observers
+    queue = self._queue
+    pop = heapq.heappop
+    try:
+        while True:
+            while queue and queue[0][3].cancelled:
+                pop(queue)
+                self._cancelled_pending -= 1
+            if not queue:
+                break
+            entry = queue[0]
+            time = entry[0]
+            if until is not None and time > until:
+                self._now = max(self._now, until)
+                break
+            pop(queue)
+            event = entry[3]
+            event.on_cancel = None
+            self._now = time
+            event.action(*event.args)
+            self._events_processed += 1
+            if observers:
+                for observer in observers:
+                    observer(event)
+            fired += 1
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; "
+                    "a protocol is probably not terminating"
+                )
+            if stop_when is not None and stop_when():
+                break
+    finally:
+        self._running = False
+    return self._now
+
+
+def _forward_noperf(self, packet, port):
+    net = self._node.net
+    me = self._node.node_id
+    link, other_id, receiving_normal, deliver = port
+    if not link.active:
+        net.metrics.count_drop("inactive_link")
+        trace = net.trace
+        if trace.enabled:
+            trace.record(
+                net.scheduler.now,
+                TraceKind.PACKET_DROPPED,
+                me,
+                packet=packet.seq,
+                reason="inactive_link",
+                link=link.key,
+            )
+        return
+
+    now = net.scheduler.now
+    delay = net.delays.hardware_delay(link.key, packet.seq)
+    arrival = link.fifo_arrival(me, now + delay)
+    packet.hops += 1
+    packet._reverse.append(receiving_normal)
+    net.metrics.count_hop(link.key)
+    probe = net.probe
+    if probe is not None:
+        probe.hop(link.key, now)
+    trace = net.trace
+    if trace.enabled:
+        trace.record(
+            now,
+            TraceKind.PACKET_HOP,
+            me,
+            packet=packet.seq,
+            link=link.key,
+            to=other_id,
+        )
+    net.scheduler.schedule_at(
+        arrival, deliver, priority=0, tag="hop", args=(packet, link)
+    )
+
+
+def _complete_noperf(self, job):
+    net = self._node.net
+    assert self.handler is not None
+    self.ports_used_this_call = set()
+    try:
+        self.handler(self._node.api, job)
+    finally:
+        self.ports_used_this_call = None
+        trace = net.trace
+        if trace.enabled:
+            trace.record(
+                net.scheduler.now,
+                TraceKind.NCU_JOB_END,
+                self._node.node_id,
+                job=job.accounting_kind,
+            )
+        probe = net.probe
+        if probe is not None:
+            probe.ncu_job_end(
+                self._node.node_id, job.accounting_kind, net.scheduler.now
+            )
+        self._busy = False
+        if self._queue:
+            self._begin_next()
+
+
+_STRIPPED = (
+    (Scheduler, "schedule", _schedule_noperf),
+    (Scheduler, "schedule_at", _schedule_at_noperf),
+    (Scheduler, "run", _run_noperf),
+    (SwitchingSubsystem, "_forward", _forward_noperf),
+    (NCU, "_complete", _complete_noperf),
+)
+
+
+@contextmanager
+def _perf_hooks_stripped():
+    saved = [(cls, name, cls.__dict__[name]) for cls, name, _fn in _STRIPPED]
+    for cls, name, fn in _STRIPPED:
+        setattr(cls, name, fn)
+    try:
+        yield
+    finally:
+        for cls, name, fn in saved:
+            setattr(cls, name, fn)
+
+
+def forwarding_workload() -> int:
+    """The hotpath_forwarding bench shape; returns events processed."""
+    from repro.hardware.anr import build_anr
+    from repro.network.builder import from_spec
+    from repro.network.protocol import Protocol
+    from repro.sim import FixedDelays
+
+    net = from_spec(f"line:{FWD_LENGTH}", delays=FixedDelays(0.1, 1.0))
+    net.attach(lambda api: Protocol(api))
+    header = build_anr(list(range(FWD_LENGTH)), net.id_lookup)
+    source = net.node(0)
+    for i in range(FWD_PACKETS):
+        net.scheduler.schedule_at(
+            0.01 * i, source.inject, args=(header, i), tag="inject"
+        )
+    net.run_to_quiescence(max_events=10_000_000)
+    return net.scheduler.events_processed
+
+
+def _measure_forwarding(stripped: bool) -> float:
+    if stripped:
+        with _perf_hooks_stripped():
+            return timeit.timeit(forwarding_workload, number=1)
+    return timeit.timeit(forwarding_workload, number=1)
+
+
+def test_dormant_perf_counters_within_noise_on_forwarding(capsys):
+    variants = {
+        "perf hooks stripped (replica)": True,
+        "perf hooks present, dormant": False,
+    }
+    events = forwarding_workload()  # also serves as warm-up
+    for stripped in variants.values():
+        _measure_forwarding(stripped)
+    best = {name: float("inf") for name in variants}
+    for _ in range(FWD_REPEATS):
+        for name, stripped in variants.items():
+            best[name] = min(best[name], _measure_forwarding(stripped))
+
+    base = best["perf hooks stripped (replica)"]
+    rows = [
+        [name, seconds * 1e9 / events, seconds / base]
+        for name, seconds in best.items()
+    ]
+    emit(
+        capsys,
+        "E16b: dormant perf-counter overhead on hotpath_forwarding "
+        f"({events} events, best of {FWD_REPEATS})",
+        ["variant", "ns_per_event", "vs_stripped"],
+        rows,
+    )
+    ratio = best["perf hooks present, dormant"] / base
+    assert ratio <= TOLERANCE, (
+        f"dormant perf counters cost {ratio:.3f}x the stripped hot path "
+        f"(budget {TOLERANCE}x); the ≤5% attribution guarantee is broken"
     )
 
 

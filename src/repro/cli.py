@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from pathlib import Path
 from typing import Sequence
 
@@ -132,6 +133,31 @@ def _monitor_spec(value: str) -> str:
     return value
 
 
+def _arm_flight_recorder(args: argparse.Namespace, net):
+    """Arm ``--flight-recorder`` on ``net``; returns the recorder or None.
+
+    The recorder is stashed on the args namespace so :func:`main` can
+    dump it when a command dies with an uncaught exception.
+    """
+    path = getattr(args, "flight_recorder", None)
+    if not path:
+        return None
+    from .obs import FlightRecorder
+
+    recorder = FlightRecorder(
+        net, capacity=getattr(args, "flight_capacity", 512), path=path
+    ).install()
+    signals = "alert, uncaught exception"
+    if recorder.install_signal():
+        signals += ", or SIGUSR1"
+    print(
+        f"flight recorder armed: last {recorder.capacity} scheduler "
+        f"events -> {path} on {signals}"
+    )
+    args._recorder = recorder
+    return recorder
+
+
 def _attach_monitors(
     args: argparse.Namespace, net, *, command: str, scheme: str | None = None
 ):
@@ -140,8 +166,11 @@ def _attach_monitors(
     Returns the installed :class:`~repro.obs.monitors.MonitorHost` or
     ``None`` when ``--monitor`` was not given.  Alerts are announced
     the moment they fire, so a breached budget is visible *before* the
-    run's summary table.
+    run's summary table.  Also arms the flight recorder (which dumps on
+    those same alerts) so every observed command gets both from one
+    call.
     """
+    recorder = _arm_flight_recorder(args, net)
     spec = getattr(args, "monitor", None)
     if not spec:
         return None
@@ -153,6 +182,8 @@ def _attach_monitors(
 
     def announce(alert) -> None:
         print(f"ALERT [{alert.monitor}] t={alert.time:g}: {alert.message}")
+        if recorder is not None:
+            recorder.note_alert(alert)
 
     return MonitorHost(net, monitors, on_alert=announce).install()
 
@@ -537,6 +568,43 @@ def _profiled_benchmarks(names: list, args: argparse.Namespace) -> dict:
     return docs
 
 
+def _instrumented_benchmarks(names: list, args: argparse.Namespace) -> dict:
+    """Run benchmarks serially with --perf counters and/or --flamegraph.
+
+    Both instruments are honest where cProfile is not: counters cost
+    one guarded increment per hook and sampling never touches the
+    measured code, so the documents' deterministic metrics stay
+    byte-identical to an uninstrumented run (only wall metrics absorb
+    the sampler's steal time).
+    """
+    from .obs import PerfCounters, SamplingProfiler, run_benchmark
+
+    docs: dict = {}
+    for name in names:
+        profiler = SamplingProfiler(hz=args.flamegraph_hz) if args.flamegraph else None
+        if profiler is not None:
+            profiler.start()
+        try:
+            docs[name] = run_benchmark(name, perf=args.perf)
+        finally:
+            if profiler is not None:
+                profiler.stop()
+        if profiler is not None:
+            base = Path(args.out_dir)
+            collapsed = profiler.write_collapsed(base / f"FLAME_{name}.collapsed.txt")
+            speedscope = profiler.write_speedscope(
+                base / f"FLAME_{name}.speedscope.json", name=name
+            )
+            print(f"flamegraph: {speedscope} ({profiler.samples} samples; "
+                  f"collapsed stacks: {collapsed})")
+        if args.perf:
+            print(PerfCounters.from_dict(docs[name]["perf"]).render(
+                title=f"{name}: perf attribution"
+            ))
+            print()
+    return docs
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     """Run the telemetry suite; write/compare ``BENCH_*.json``."""
     from .obs import (
@@ -586,6 +654,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         try:
             if args.profile:
                 docs = _profiled_benchmarks(names, args)
+            elif args.perf or args.flamegraph:
+                docs = _instrumented_benchmarks(names, args)
             else:
                 docs = run_benchmarks(names, jobs=args.jobs)
         except ValueError as exc:
@@ -631,6 +701,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 CAMPAIGN_WORKLOADS = ("tradeoff", "montecarlo", "bench")
+
+
+class _ProgressTicker:
+    """Single-line ``\\r``-rewritten stderr campaign progress display.
+
+    Replaces the per-task announce lines under ``--progress``: one line
+    carrying done/total, cache hits, retry count and an EWMA of task
+    settlement rate, updated as each task settles.  Pure display —
+    feeds off the engine's ``on_result`` callback and never touches
+    results.
+    """
+
+    def __init__(self, total: int) -> None:
+        self.total = total
+        self.done = 0
+        self.cache_hits = 0
+        self.retries = 0
+        self._rate: float | None = None
+        self._last = time.monotonic()
+
+    def update(self, result) -> None:
+        now = time.monotonic()
+        self.done += 1
+        if result.status == "cached":
+            self.cache_hits += 1
+        if result.attempts > 1:
+            self.retries += result.attempts - 1
+        instant = 1.0 / max(now - self._last, 1e-9)
+        self._last = now
+        # EWMA smooths the burst of instant cache settlements against
+        # slow fresh executions.
+        self._rate = (
+            instant if self._rate is None else 0.3 * instant + 0.7 * self._rate
+        )
+        sys.stderr.write(
+            f"\r[campaign] {self.done}/{self.total} done | "
+            f"{self.cache_hits} cached | {self.retries} retries | "
+            f"{self._rate:.1f} tasks/s "
+        )
+        sys.stderr.flush()
+
+    def finish(self) -> None:
+        """Terminate the ticker line so later output starts clean."""
+        if self.done:
+            sys.stderr.write("\n")
+            sys.stderr.flush()
 
 
 def _campaign_specs(args: argparse.Namespace) -> tuple[list, dict]:
@@ -726,6 +842,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         print(f"[{status_tags[result.status]}] {result.spec.label}"
               f"{retried}{note}")
 
+    ticker = _ProgressTicker(len(specs)) if args.progress else None
     outcome = run_campaign(
         specs,
         jobs=args.jobs,
@@ -733,8 +850,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         timeout=args.timeout,
         retries=args.retries,
         max_tasks=args.max_tasks,
-        on_result=announce,
+        on_result=ticker.update if ticker is not None else announce,
+        perf=args.perf,
     )
+    if ticker is not None:
+        ticker.finish()
 
     print()
     print(format_table(
@@ -745,6 +865,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
           f"{outcome.wall_ms:.0f}"]],
         title=f"campaign {args.workload} at --jobs {args.jobs}",
     ))
+
+    if args.perf:
+        merged = outcome.merged_perf()
+        if merged is not None:
+            from .obs import PerfCounters
+
+            print()
+            print(PerfCounters.from_dict(merged).render(
+                title="campaign perf attribution (all tasks merged)"
+            ))
+        else:
+            print("no perf data collected (every task came from the cache)")
 
     complete = all(r.ok for r in outcome.results)
     if args.rows_out:
@@ -828,6 +960,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="comma list of online conformance monitors "
                               "(budgets, invariants, watchdog, or 'all'); "
                               "violations make the command exit non-zero")
+        obs.add_argument("--flight-recorder", metavar="PATH", default=None,
+                         help="keep a bounded ring of the last scheduler "
+                              "events; dump it as replayable JSONL on "
+                              "monitor alert, uncaught exception or SIGUSR1")
+        obs.add_argument("--flight-capacity", type=int, default=512,
+                         metavar="N",
+                         help="flight-recorder ring size "
+                              "(default %(default)s events)")
 
     p = sub.add_parser("broadcast", help="one topology broadcast (E1/E2)")
     common(p)
@@ -937,6 +1077,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "include profiler overhead)")
     p.add_argument("--profile-top", type=int, default=15, metavar="N",
                    help="rows in the --profile table (default %(default)s)")
+    p.add_argument("--perf", action="store_true",
+                   help="collect per-subsystem perf counters into a 'perf' "
+                        "block of each BENCH document and print the "
+                        "attribution table (metrics are unaffected; "
+                        "runs serially)")
+    p.add_argument("--flamegraph", action="store_true",
+                   help="sample each benchmark's stack and write "
+                        "FLAME_<name>.collapsed.txt + .speedscope.json "
+                        "next to the documents (runs serially)")
+    p.add_argument("--flamegraph-hz", type=float, default=251.0,
+                   metavar="HZ",
+                   help="sampling rate for --flamegraph "
+                        "(default %(default)s)")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
@@ -970,6 +1123,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--manifest-out", default=None, metavar="PATH",
                    help="write a campaign manifest (shards, cache hits, "
                         "retries, per-task wall time)")
+    p.add_argument("--progress", action="store_true",
+                   help="single-line stderr ticker (done/total, cache "
+                        "hits, retries, EWMA tasks/sec) instead of "
+                        "per-task lines")
+    p.add_argument("--perf", action="store_true",
+                   help="collect per-task perf counters in the workers, "
+                        "merge them campaign-wide, print the attribution "
+                        "table and record it in the manifest")
     grid = p.add_argument_group("workload parameters")
     grid.add_argument("--n", type=int, default=32,
                       help="problem size: tradeoff tree size / montecarlo "
@@ -1005,7 +1166,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point (``python -m repro ...``)."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except Exception:
+        # An armed flight recorder turns a crash into a postmortem:
+        # dump the ring before the traceback propagates.
+        recorder = getattr(args, "_recorder", None)
+        if recorder is not None:
+            path = recorder.dump(reason="exception")
+            print(f"flight recorder dumped to {path} (uncaught exception)",
+                  file=sys.stderr)
+        raise
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -57,6 +57,10 @@ class TaskResult:
     wall_ms: float = 0.0
     error: str | None = None
     key: str | None = None
+    #: Serialised per-task perf registry (``PerfCounters.to_dict()``)
+    #: when the campaign ran with ``perf=True``; ``None`` otherwise
+    #: (cached and failed tasks never carry one).
+    perf: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -97,6 +101,18 @@ class CampaignOutcome:
         """True when ``max_tasks`` stopped the campaign before the end."""
         return self.skipped > 0
 
+    def merged_perf(self) -> dict[str, Any] | None:
+        """All per-task perf registries folded into one serialised dict.
+
+        Counters sum and histograms merge bin-exactly (fixed bounds),
+        so the aggregate is independent of sharding.  ``None`` when no
+        task carried perf data (campaign ran without ``perf=True``, or
+        everything was cached).
+        """
+        from ..obs.perf import merge_perf_dicts
+
+        return merge_perf_dicts([r.perf for r in self.results if r.perf])
+
     def values(self, *, strict: bool = True) -> list[Any]:
         """Task values in spec order.
 
@@ -126,13 +142,35 @@ def _init_worker(paths: list[str]) -> None:
             sys.path.insert(0, p)
 
 
-def _execute(canonical_spec: dict, label: str) -> tuple[Any, float]:
-    """Run one spec; returns ``(json-normalised value, wall_ms)``."""
+def _execute(
+    canonical_spec: dict, label: str, collect_perf: bool = False
+) -> tuple[Any, float, dict[str, Any] | None]:
+    """Run one spec; returns ``(json-normalised value, wall_ms, perf)``.
+
+    With ``collect_perf`` a process-global
+    :class:`~repro.obs.perf.PerfCounters` registry is active for the
+    duration of the task, so networks built *inside* the task function
+    (including substrate-pool builds/resets) are attributed to it; the
+    registry is returned serialised, ready to cross the pickle
+    boundary.  Counter values are deterministic — only the wall-clock
+    timers vary run to run — and collection never touches the task's
+    value, so cache keys and results are identical either way.
+    """
     spec = TaskSpec.from_canonical(canonical_spec, label)
+    counters = None
+    if collect_perf:
+        from ..obs.perf import PerfCounters
+
+        counters = PerfCounters().activate()
     t0 = time.perf_counter()
-    value = spec.execute()
+    try:
+        value = spec.execute()
+    finally:
+        if counters is not None:
+            counters.deactivate()
     wall_ms = (time.perf_counter() - t0) * 1000.0
-    return json.loads(canonical_json(value)), wall_ms
+    perf = counters.to_dict() if counters is not None else None
+    return json.loads(canonical_json(value)), wall_ms, perf
 
 
 # ----------------------------------------------------------------------
@@ -154,6 +192,7 @@ def run_campaign(
     retries: int = 2,
     max_tasks: int | None = None,
     on_result: Callable[[TaskResult], None] | None = None,
+    perf: bool = False,
 ) -> CampaignOutcome:
     """Execute ``specs`` across ``jobs`` shards; see module docstring.
 
@@ -162,7 +201,12 @@ def run_campaign(
     *fresh executions* this invocation performs — the tool behind
     resumability tests and incremental campaigns; tasks beyond the cap
     are reported ``skipped``.  ``on_result`` is called once per task as
-    it settles (settlement order, for progress display only).
+    it settles (settlement order, for progress display only).  With
+    ``perf`` each fresh execution carries a per-task
+    :class:`~repro.obs.perf.PerfCounters` snapshot on
+    :attr:`TaskResult.perf` (merge them via
+    :meth:`CampaignOutcome.merged_perf`); values and cache keys are
+    unaffected.
     """
     specs = list(specs)
     if jobs < 1:
@@ -199,12 +243,18 @@ def run_campaign(
 
     retries_used = 0
 
-    def finish(index: int, value: Any, wall_ms: float, attempts: int) -> None:
+    def finish(
+        index: int,
+        value: Any,
+        wall_ms: float,
+        attempts: int,
+        task_perf: dict[str, Any] | None = None,
+    ) -> None:
         spec = specs[index]
         key = cache.put(spec, value, wall_ms) if cache is not None else None
         settle(index, TaskResult(
             spec=spec, status="ok", value=value,
-            attempts=attempts, wall_ms=wall_ms, key=key,
+            attempts=attempts, wall_ms=wall_ms, key=key, perf=task_perf,
         ))
 
     def fail(index: int, error: str, attempts: int) -> None:
@@ -214,18 +264,19 @@ def run_campaign(
 
     if jobs == 1:
         for index in todo:
-            t0 = time.perf_counter()
+            spec = specs[index]
             try:
-                value = specs[index].execute()
-                value = json.loads(canonical_json(value))
+                value, wall_ms, task_perf = _execute(
+                    spec.canonical(), spec.label, perf
+                )
             except Exception as exc:  # noqa: BLE001 — reported, not hidden
                 fail(index, f"{type(exc).__name__}: {exc}", attempts=1)
                 continue
-            finish(index, value, (time.perf_counter() - t0) * 1000.0, attempts=1)
+            finish(index, value, wall_ms, attempts=1, task_perf=task_perf)
     elif todo:
         retries_used = _run_pool(
             specs, todo, jobs=jobs, timeout=timeout, retries=retries,
-            finish=finish, fail=fail,
+            finish=finish, fail=fail, perf=perf,
         )
 
     ordered = tuple(results[i] for i in range(len(specs)))
@@ -244,8 +295,9 @@ def _run_pool(
     jobs: int,
     timeout: float | None,
     retries: int,
-    finish: Callable[[int, Any, float, int], None],
+    finish: Callable[..., None],
     fail: Callable[[int, str, int], None],
+    perf: bool = False,
 ) -> int:
     """The sharded execution loop; returns total retry attempts used."""
     queue: deque[_Pending] = deque(_Pending(index) for index in todo)
@@ -288,11 +340,14 @@ def _run_pool(
         """Settle every in-flight future of a now-broken pool."""
         for future, (pending, _t0) in list(inflight.items()):
             try:
-                value, wall_ms = future.result(timeout=60)
+                value, wall_ms, task_perf = future.result(timeout=60)
             except Exception:  # noqa: BLE001 — pool is gone
                 crashed(pending)
             else:
-                finish(pending.index, value, wall_ms, pending.attempts)
+                finish(
+                    pending.index, value, wall_ms, pending.attempts,
+                    task_perf=task_perf,
+                )
         inflight.clear()
 
     executor = make_executor()
@@ -305,7 +360,7 @@ def _run_pool(
                 spec = specs[pending.index]
                 try:
                     future = executor.submit(
-                        _execute, spec.canonical(), spec.label
+                        _execute, spec.canonical(), spec.label, perf
                     )
                 except (BrokenProcessPool, RuntimeError):
                     pending.attempts -= 1
@@ -323,7 +378,7 @@ def _run_pool(
                 for future in done:
                     pending, _t0 = inflight.pop(future)
                     try:
-                        value, wall_ms = future.result()
+                        value, wall_ms, task_perf = future.result()
                     except BrokenProcessPool:
                         broken = True
                         crashed(pending)
@@ -334,7 +389,10 @@ def _run_pool(
                             pending.attempts,
                         )
                     else:
-                        finish(pending.index, value, wall_ms, pending.attempts)
+                        finish(
+                            pending.index, value, wall_ms, pending.attempts,
+                            task_perf=task_perf,
+                        )
 
             if timeout is not None and not broken:
                 now = time.monotonic()

@@ -22,6 +22,7 @@ identical whichever mode produced them.
 from __future__ import annotations
 
 import os
+from time import perf_counter as _perf_counter
 
 from ..network.builder import from_spec
 from ..network.network import Network
@@ -68,6 +69,9 @@ class SubstratePool:
         self.builds = 0
         #: Networks handed out via reset (pool hits).
         self.reuses = 0
+        #: Cumulative wall seconds spent in builds / resets.
+        self.build_seconds = 0.0
+        self.reset_seconds = 0.0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -91,18 +95,7 @@ class SubstratePool:
         """
         key: PoolKey = (spec, dmax, trace, trace_capacity, datalink_delay)
         if not reuse_enabled():
-            self.builds += 1
-            return from_spec(
-                spec,
-                delays=delays,
-                dmax=dmax,
-                trace=trace,
-                trace_capacity=trace_capacity,
-                datalink_delay=datalink_delay,
-            )
-        net = self._entries.get(key)
-        if net is None:
-            self.builds += 1
+            t0 = _perf_counter()
             net = from_spec(
                 spec,
                 delays=delays,
@@ -111,17 +104,51 @@ class SubstratePool:
                 trace_capacity=trace_capacity,
                 datalink_delay=datalink_delay,
             )
+            self._note_build(_perf_counter() - t0)
+            return net
+        net = self._entries.get(key)
+        if net is None:
+            t0 = _perf_counter()
+            net = from_spec(
+                spec,
+                delays=delays,
+                dmax=dmax,
+                trace=trace,
+                trace_capacity=trace_capacity,
+                datalink_delay=datalink_delay,
+            )
+            self._note_build(_perf_counter() - t0)
             if len(self._entries) >= self._max_entries:
                 # FIFO eviction; dict preserves insertion order.
                 self._entries.pop(next(iter(self._entries)))
             self._entries[key] = net
         else:
-            self.reuses += 1
             # Mirror the Network constructor: no model given means the
             # C/P limiting model, freshly made so no RNG state leaks
             # between runs.
+            t0 = _perf_counter()
             net.reset(delays=delays if delays is not None else _default_delays())
+            self._note_reset(_perf_counter() - t0)
         return net
+
+    def _note_build(self, dt: float) -> None:
+        self.builds += 1
+        self.build_seconds += dt
+        # Feed a globally activated perf registry (repro.obs.perf).
+        # Class-attribute read on purpose: pool activity belongs to
+        # process-wide attribution, not to any one network's install.
+        perf = Network.perf
+        if perf is not None:
+            perf.substrate_builds += 1
+            perf.substrate_build_s += dt
+
+    def _note_reset(self, dt: float) -> None:
+        self.reuses += 1
+        self.reset_seconds += dt
+        perf = Network.perf
+        if perf is not None:
+            perf.substrate_resets += 1
+            perf.substrate_reset_s += dt
 
     def clear(self) -> None:
         """Drop all pooled networks (counters are kept)."""
@@ -145,3 +172,14 @@ def worker_pool() -> SubstratePool:
     if _WORKER_POOL is None:
         _WORKER_POOL = SubstratePool()
     return _WORKER_POOL
+
+
+def pool_stats() -> dict[str, int] | None:
+    """Provenance counters of this process's pool, or ``None`` if unused.
+
+    Deliberately does not create the pool: a run that never touched
+    :func:`worker_pool` reports ``None``, not zeros.
+    """
+    if _WORKER_POOL is None:
+        return None
+    return {"builds": _WORKER_POOL.builds, "reuses": _WORKER_POOL.reuses}

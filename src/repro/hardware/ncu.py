@@ -21,6 +21,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
+from time import perf_counter as _perf_counter
 from typing import TYPE_CHECKING, Any, Callable
 
 from ..sim.errors import ProtocolError
@@ -282,9 +283,16 @@ class NCU:
         net = self._node.net
         assert self.handler is not None
         self.ports_used_this_call = set()
+        perf = net.perf
+        t0 = _perf_counter() if perf is not None else 0.0
         try:
             self.handler(self._node.api, job)
         finally:
+            if perf is not None:
+                dt = _perf_counter() - t0
+                perf.ncu_jobs += 1
+                perf.ncu_handler_s += dt
+                perf.handler_us.add(dt * 1e6)
             self.ports_used_this_call = None
             trace = net.trace
             if trace.enabled:

@@ -286,6 +286,9 @@ class SwitchingSubsystem:
         probe = net.probe
         if probe is not None:
             probe.hop(link.key, now)
+        perf = net.perf
+        if perf is not None:
+            perf.ss_hops += 1
         trace = net.trace
         if trace.enabled:
             trace.record(

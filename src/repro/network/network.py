@@ -33,6 +33,14 @@ from .protocol import ProtocolFactory
 class Network:
     """A simulated fast network with SS/NCU nodes."""
 
+    #: Perf-counter registry (see :mod:`repro.obs.perf`).  A class
+    #: attribute so process-global activation reaches every network —
+    #: including those built inside campaign task functions — and
+    #: survives :meth:`reset`; a per-network install shadows it with an
+    #: instance attribute.  ``None`` means dormant: the SS/NCU hot
+    #: paths then pay one attribute load + identity check per hook.
+    perf: Any = None
+
     def __init__(
         self,
         graph: nx.Graph,
@@ -194,6 +202,9 @@ class Network:
         self.trace = Trace(enabled=self.trace.enabled, capacity=self.trace.capacity)
         self.outputs = {}
         self.probe = None
+        # Drop any per-network perf install (global activations live on
+        # the class and are deliberately untouched).
+        self.__dict__.pop("perf", None)
         self._packet_seq = itertools.count(1)
         self._group_seq = itertools.count(0)
         if delays is not None:

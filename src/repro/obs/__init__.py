@@ -33,6 +33,8 @@ from .exporters import (
 )
 from .live import Histogram, LiveStats
 from .manifest import CampaignManifest, RunManifest, git_revision
+from .perf import PerfCounters, SamplingProfiler, merge_perf_dicts
+from .recorder import FlightRecorder
 from .monitors import (
     MONITOR_NAMES,
     Alert,
@@ -58,6 +60,7 @@ __all__ = [
     "Budget",
     "BudgetMonitor",
     "CampaignManifest",
+    "FlightRecorder",
     "Histogram",
     "InvariantMonitor",
     "LiveStats",
@@ -65,8 +68,10 @@ __all__ = [
     "MetricComparison",
     "Monitor",
     "MonitorHost",
+    "PerfCounters",
     "ProgressWatchdog",
     "RunManifest",
+    "SamplingProfiler",
     "Span",
     "TraceLoadError",
     "bench_path",
@@ -81,6 +86,7 @@ __all__ = [
     "git_revision",
     "load_bench_document",
     "makespan",
+    "merge_perf_dicts",
     "monitors_from_spec",
     "record_from_dict",
     "record_to_dict",

@@ -344,11 +344,16 @@ def benchmark_names() -> tuple[str, ...]:
     return tuple(bench.name for bench in BENCHMARKS)
 
 
-def run_benchmark(name: str) -> dict[str, Any]:
+def run_benchmark(name: str, *, perf: bool = False) -> dict[str, Any]:
     """Run one registered benchmark; returns its JSON document.
 
     The document is ``{"bench": name, "metrics": {...},
     "manifest": {...}}`` — what ``BENCH_<name>.json`` holds on disk.
+    With ``perf`` a process-global :class:`~repro.obs.perf.PerfCounters`
+    registry runs alongside and its breakdown lands in a separate
+    ``"perf"`` block; the ``"metrics"`` block — the only part
+    regression gating reads — is byte-identical either way (counters
+    never touch behaviour, locked by the golden-equivalence suite).
     """
     try:
         bench = _BY_NAME[name]
@@ -357,13 +362,25 @@ def run_benchmark(name: str) -> dict[str, Any]:
             f"unknown benchmark {name!r}; choose from "
             f"{', '.join(benchmark_names())}"
         ) from None
-    metrics, manifest = bench.run()
-    return {
+    counters = None
+    if perf:
+        from .perf import PerfCounters
+
+        counters = PerfCounters().activate()
+    try:
+        metrics, manifest = bench.run()
+    finally:
+        if counters is not None:
+            counters.deactivate()
+    doc = {
         "bench": bench.name,
         "description": bench.description,
         "metrics": metrics,
         "manifest": manifest.to_dict(),
     }
+    if counters is not None:
+        doc["perf"] = counters.to_dict()
+    return doc
 
 
 def run_benchmarks(

@@ -28,7 +28,7 @@ from __future__ import annotations
 import time as _time
 from bisect import bisect_left
 from collections import Counter
-from typing import TYPE_CHECKING, Any, Hashable, Sequence
+from typing import TYPE_CHECKING, Any, Hashable, Mapping, Sequence
 
 from ..metrics.report import format_table
 
@@ -111,6 +111,62 @@ class Histogram:
             self.minimum if self.minimum is not None else 0.0,
             self.maximum if self.maximum is not None else 0.0,
         ]
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s observations into this histogram; returns self.
+
+        Bin-exact: both histograms must have identical bounds (a
+        :class:`ValueError` otherwise — resampling across bin layouts
+        would silently distort quantiles).  Merging an empty histogram
+        is the identity.  This is how per-worker campaign histograms
+        aggregate into one campaign-wide distribution.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds "
+                f"({len(self.bounds)} vs {len(other.bounds)} bins)"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None and (
+            self.minimum is None or other.minimum < self.minimum
+        ):
+            self.minimum = other.minimum
+        if other.maximum is not None and (
+            self.maximum is None or other.maximum > self.maximum
+        ):
+            self.maximum = other.maximum
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe snapshot; inverse of :meth:`from_dict`."""
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output."""
+        hist = cls(data["bounds"])
+        counts = [int(n) for n in data["counts"]]
+        if len(counts) != len(hist.counts):
+            raise ValueError(
+                f"count vector has {len(counts)} bins, "
+                f"bounds imply {len(hist.counts)}"
+            )
+        hist.counts = counts
+        hist.count = int(data["count"])
+        hist.total = float(data["total"])
+        hist.minimum = data.get("min")
+        hist.maximum = data.get("max")
+        return hist
 
 
 class LiveStats:

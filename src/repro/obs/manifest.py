@@ -65,6 +65,13 @@ class RunManifest:
     drops: int | None = None
     trace_records: int | None = None
     trace_dropped: int | None = None
+    #: State of the ``REPRO_SUBSTRATE_REUSE`` gate when the run was
+    #: made — deliberately outside spec hashes (PR 5), so manifests are
+    #: the only provenance record of which mode produced a result.
+    substrate_reuse: bool | None = None
+    #: This process's substrate-pool counters (``None`` if the pool was
+    #: never used): ``{"builds": ..., "reuses": ...}``.
+    substrate_pool: dict[str, int] | None = None
     git: str | None = None
     python: str = ""
     platform: str = ""
@@ -84,6 +91,8 @@ class RunManifest:
         **extra: Any,
     ) -> "RunManifest":
         """Capture a network's current state plus environment stamps."""
+        from ..exec.substrate import pool_stats, reuse_enabled
+
         snap = net.metrics.snapshot()
         return cls(
             command=command,
@@ -102,6 +111,8 @@ class RunManifest:
             drops=snap.drops,
             trace_records=len(net.trace),
             trace_dropped=net.trace.dropped,
+            substrate_reuse=reuse_enabled(),
+            substrate_pool=pool_stats(),
             git=git_revision(),
             python=sys.version.split()[0],
             platform=platform.platform(),
@@ -153,6 +164,14 @@ class CampaignManifest:
     interrupted: bool = False
     wall_ms: float = 0.0
     tasks: list[dict[str, Any]] = field(default_factory=list)
+    #: State of the ``REPRO_SUBSTRATE_REUSE`` gate in the driver when
+    #: the campaign ran (workers inherit the environment).
+    substrate_reuse: bool | None = None
+    #: Campaign-wide perf attribution: every task's
+    #: :class:`~repro.obs.perf.PerfCounters` merged
+    #: (:meth:`CampaignOutcome.merged_perf`); ``None`` unless the
+    #: campaign ran with ``--perf``.
+    perf: dict[str, Any] | None = None
     git: str | None = None
     python: str = ""
     platform: str = ""
@@ -169,6 +188,8 @@ class CampaignManifest:
         **extra: Any,
     ) -> "CampaignManifest":
         """Summarise a :class:`~repro.exec.engine.CampaignOutcome`."""
+        from ..exec.substrate import reuse_enabled
+
         tasks = [
             {
                 "label": result.spec.label,
@@ -193,6 +214,8 @@ class CampaignManifest:
             interrupted=outcome.interrupted,
             wall_ms=round(outcome.wall_ms, 3),
             tasks=tasks,
+            substrate_reuse=reuse_enabled(),
+            perf=outcome.merged_perf(),
             git=git_revision(),
             python=sys.version.split()[0],
             platform=platform.platform(),

@@ -27,6 +27,7 @@ callers avoid per-event closures by passing a long-lived callable plus
 from __future__ import annotations
 
 import heapq
+from time import perf_counter as _perf_counter
 from typing import Any, Callable, Iterator
 
 from .errors import SimulationError
@@ -41,6 +42,13 @@ HeapEntry = tuple[float, int, int, Event]
 
 class Scheduler:
     """Priority-queue driven simulation loop."""
+
+    #: Perf-counter registry (class attribute so a process-global
+    #: activation reaches every scheduler; instance installs shadow
+    #: it).  The simulator never imports the observability layer — it
+    #: only feeds whatever registry was injected here, behind the same
+    #: ``is not None`` guard the observer hook uses.
+    perf: Any = None
 
     def __init__(self) -> None:
         self._queue: list[HeapEntry] = []
@@ -152,6 +160,9 @@ class Scheduler:
         event.cancelled = False
         event.on_cancel = self._note_cancelled_cb
         heapq.heappush(self._queue, (time, priority, seq, event))
+        perf = self.perf
+        if perf is not None:
+            perf.sched_push += 1
         return event
 
     def schedule_at(
@@ -180,6 +191,9 @@ class Scheduler:
         event.cancelled = False
         event.on_cancel = self._note_cancelled_cb
         heapq.heappush(self._queue, (time, priority, seq, event))
+        perf = self.perf
+        if perf is not None:
+            perf.sched_push += 1
         return event
 
     # ------------------------------------------------------------------
@@ -218,6 +232,8 @@ class Scheduler:
         observers = self._observers
         queue = self._queue
         pop = heapq.heappop
+        perf = self.perf
+        t_run = _perf_counter() if perf is not None else 0.0
         try:
             while True:
                 while queue and queue[0][3].cancelled:
@@ -238,6 +254,8 @@ class Scheduler:
                 self._now = time
                 event.action(*event.args)
                 self._events_processed += 1
+                if perf is not None:
+                    perf.sched_pop += 1
                 if observers:
                     for observer in observers:
                         observer(event)
@@ -251,6 +269,8 @@ class Scheduler:
                     break
         finally:
             self._running = False
+            if perf is not None:
+                perf.sched_run_s += _perf_counter() - t_run
         return self._now
 
     def step(self) -> bool:
@@ -264,6 +284,9 @@ class Scheduler:
         self._now = entry[0]
         event.action(*event.args)
         self._events_processed += 1
+        perf = self.perf
+        if perf is not None:
+            perf.sched_pop += 1
         if self._observers:
             for observer in self._observers:
                 observer(event)

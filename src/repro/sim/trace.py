@@ -30,6 +30,7 @@ class TraceKind(Enum):
     TIMER_FIRED = "timer_fired"
     PROTOCOL_NOTE = "protocol_note"
     ALERT = "alert"
+    SCHED_EVENT = "sched_event"
 
 
 @dataclass(slots=True)
@@ -54,6 +55,12 @@ class TraceRecord:
 class Trace:
     """Append-only record store with simple filtering helpers."""
 
+    #: Perf-counter registry (class attribute so a process-global
+    #: activation reaches every trace; instance installs shadow it).
+    #: The simulator never imports the observability layer — it only
+    #: feeds whatever registry was injected here.
+    perf: Any = None
+
     def __init__(self, enabled: bool = True, capacity: int | None = None) -> None:
         self.enabled = enabled
         self.capacity = capacity
@@ -73,6 +80,9 @@ class Trace:
         if self.capacity is not None and len(self.records) >= self.capacity:
             self._dropped += 1
             return
+        perf = self.perf
+        if perf is not None:
+            perf.trace_records += 1
         self.records.append(TraceRecord(time=time, kind=kind, node=node, detail=detail))
 
     # ------------------------------------------------------------------
