@@ -269,6 +269,8 @@ def _run_noperf(self, *, until=None, max_events=None, stop_when=None):
 
 
 def _forward_noperf(self, packet, port):
+    # The flow-control check stays in this replica: E16b isolates the
+    # perf lines only (E16c below isolates the fc check the same way).
     net = self._node.net
     me = self._node.node_id
     link, other_id, receiving_normal, deliver = port
@@ -284,6 +286,11 @@ def _forward_noperf(self, packet, port):
                 reason="inactive_link",
                 link=link.key,
             )
+        return
+
+    fc = link.fc
+    if fc is not None:
+        link.fc_forward(me, packet, port)
         return
 
     now = net.scheduler.now
@@ -412,6 +419,111 @@ def test_dormant_perf_counters_within_noise_on_forwarding(capsys):
     assert ratio <= TOLERANCE, (
         f"dormant perf counters cost {ratio:.3f}x the stripped hot path "
         f"(budget {TOLERANCE}x); the ≤5% attribution guarantee is broken"
+    )
+
+
+# ----------------------------------------------------------------------
+# E16c — dormant flow control on the forwarding hot path
+# ----------------------------------------------------------------------
+# The congestion PR added credit-based flow control to ``Link``; the
+# free-hardware forwarding path pays one ``fc = link.fc`` attribute load
+# plus an ``is not None`` check per hop when no limits are configured
+# (the default).  ``_forward_nofc`` below is ``_forward`` with exactly
+# those lines removed — the perf lines stay, so the gate isolates
+# precisely the flow-control check.
+
+
+def _forward_nofc(self, packet, port):
+    net = self._node.net
+    me = self._node.node_id
+    link, other_id, receiving_normal, deliver = port
+    if not link.active:
+        net.metrics.count_drop("inactive_link")
+        trace = net.trace
+        if trace.enabled:
+            trace.record(
+                net.scheduler.now,
+                TraceKind.PACKET_DROPPED,
+                me,
+                packet=packet.seq,
+                reason="inactive_link",
+                link=link.key,
+            )
+        return
+
+    now = net.scheduler.now
+    delay = net.delays.hardware_delay(link.key, packet.seq)
+    arrival = link.fifo_arrival(me, now + delay)
+    packet.hops += 1
+    packet._reverse.append(receiving_normal)
+    net.metrics.count_hop(link.key)
+    probe = net.probe
+    if probe is not None:
+        probe.hop(link.key, now)
+    perf = net.perf
+    if perf is not None:
+        perf.ss_hops += 1
+    trace = net.trace
+    if trace.enabled:
+        trace.record(
+            now,
+            TraceKind.PACKET_HOP,
+            me,
+            packet=packet.seq,
+            link=link.key,
+            to=other_id,
+        )
+    net.scheduler.schedule_at(
+        arrival, deliver, priority=0, tag="hop", args=(packet, link)
+    )
+
+
+@contextmanager
+def _fc_hooks_stripped():
+    saved = SwitchingSubsystem.__dict__["_forward"]
+    SwitchingSubsystem._forward = _forward_nofc
+    try:
+        yield
+    finally:
+        SwitchingSubsystem._forward = saved
+
+
+def _measure_forwarding_nofc(stripped: bool) -> float:
+    if stripped:
+        with _fc_hooks_stripped():
+            return timeit.timeit(forwarding_workload, number=1)
+    return timeit.timeit(forwarding_workload, number=1)
+
+
+def test_dormant_flow_control_within_noise_on_forwarding(capsys):
+    variants = {
+        "fc check stripped (replica)": True,
+        "fc check present, dormant": False,
+    }
+    events = forwarding_workload()  # also serves as warm-up
+    for stripped in variants.values():
+        _measure_forwarding_nofc(stripped)
+    best = {name: float("inf") for name in variants}
+    for _ in range(FWD_REPEATS):
+        for name, stripped in variants.items():
+            best[name] = min(best[name], _measure_forwarding_nofc(stripped))
+
+    base = best["fc check stripped (replica)"]
+    rows = [
+        [name, seconds * 1e9 / events, seconds / base]
+        for name, seconds in best.items()
+    ]
+    emit(
+        capsys,
+        "E16c: dormant flow-control overhead on hotpath_forwarding "
+        f"({events} events, best of {FWD_REPEATS})",
+        ["variant", "ns_per_event", "vs_stripped"],
+        rows,
+    )
+    ratio = best["fc check present, dormant"] / base
+    assert ratio <= TOLERANCE, (
+        f"the dormant flow-control check costs {ratio:.3f}x the stripped "
+        f"hot path (budget {TOLERANCE}x); free hardware must stay free"
     )
 
 

@@ -1,0 +1,202 @@
+"""Network calculus for flow-controlled links.
+
+Closed-form worst-case bounds in the (min,+) framework, specialised to
+the two curve shapes this reproduction needs (after Zippo & Stea,
+*Computationally Efficient Worst-Case Analysis of Flow-Controlled
+Networks with Network Calculus*, arXiv:2203.02497):
+
+* **token-bucket arrival curves** ``alpha(t) = b + r*t`` — a flow never
+  injects more than ``b`` packets at once nor sustains more than ``r``
+  packets per time unit;
+* **rate-latency service curves** ``beta(t) = R * max(0, t - T)`` — a
+  link serves at rate ``R`` after a worst-case dead time ``T``.
+
+For a stable pair (``r <= R``) the classic three bounds are closed
+form: delay ``D = T + b/R``, backlog ``B = b + r*T``, and the output
+burstiness ``b' = b + r*T``.  Hop-by-hop window flow control (our
+credit scheme) caps the sustained rate at the window divided by the
+credit round-trip, which :func:`flow_controlled_rate` captures and
+:func:`link_service_curve` folds into an equivalent rate-latency curve
+for the whole link stage (serialisation + propagation + window).
+
+Pure math on floats — no simulator imports — so the online monitor
+(:class:`repro.obs.monitors.NetCalcMonitor`) and offline analysis share
+one implementation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "TokenBucket",
+    "RateLatency",
+    "LinkBounds",
+    "convolve",
+    "is_stable",
+    "delay_bound",
+    "backlog_bound",
+    "output_burst",
+    "flow_controlled_rate",
+    "link_service_curve",
+    "link_bounds",
+]
+
+
+@dataclass(frozen=True)
+class TokenBucket:
+    """Arrival curve ``alpha(t) = burst + rate * t`` (for ``t > 0``)."""
+
+    rate: float
+    burst: float
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError(f"arrival rate must be >= 0, got {self.rate!r}")
+        if self.burst < 0:
+            raise ValueError(f"burst must be >= 0, got {self.burst!r}")
+
+    def __call__(self, t: float) -> float:
+        """Most traffic admissible in any window of length ``t``."""
+        if t <= 0:
+            return 0.0
+        return self.burst + self.rate * t
+
+
+@dataclass(frozen=True)
+class RateLatency:
+    """Service curve ``beta(t) = rate * max(0, t - latency)``."""
+
+    rate: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError(f"service rate must be > 0, got {self.rate!r}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency!r}")
+
+    def __call__(self, t: float) -> float:
+        """Least service guaranteed over any window of length ``t``."""
+        if t <= self.latency:
+            return 0.0
+        if self.rate == math.inf:
+            return math.inf
+        return self.rate * (t - self.latency)
+
+
+@dataclass(frozen=True)
+class LinkBounds:
+    """A link direction's curves with its three closed-form bounds."""
+
+    arrival: TokenBucket
+    service: RateLatency
+    delay: float
+    backlog: float
+    output_burst: float
+
+
+def convolve(a: RateLatency, b: RateLatency) -> RateLatency:
+    """(min,+) convolution of two rate-latency curves.
+
+    The end-to-end service of a tandem is again rate-latency: the
+    bottleneck rate with the summed latencies.
+    """
+    return RateLatency(rate=min(a.rate, b.rate), latency=a.latency + b.latency)
+
+
+def is_stable(arrival: TokenBucket, service: RateLatency) -> bool:
+    """Whether the sustained arrival rate fits inside the service rate."""
+    return arrival.rate <= service.rate
+
+
+def delay_bound(arrival: TokenBucket, service: RateLatency) -> float:
+    """Worst-case delay ``D = T + b/R`` (``inf`` when unstable).
+
+    The horizontal deviation between the curves: the burst drains at
+    rate ``R`` after the dead time ``T``.
+    """
+    if not is_stable(arrival, service):
+        return math.inf
+    if service.rate == math.inf:
+        return service.latency
+    return service.latency + arrival.burst / service.rate
+
+
+def backlog_bound(arrival: TokenBucket, service: RateLatency) -> float:
+    """Worst-case backlog ``B = b + r*T`` (``inf`` when unstable).
+
+    The vertical deviation between the curves, reached at ``t = T``.
+    """
+    if not is_stable(arrival, service):
+        return math.inf
+    if service.latency == math.inf:
+        return math.inf
+    return arrival.burst + arrival.rate * service.latency
+
+
+def output_burst(arrival: TokenBucket, service: RateLatency) -> float:
+    """Burstiness of the departing flow: ``b' = b + r*T``.
+
+    The output of a stable rate-latency server conforms to a token
+    bucket with the same rate and this inflated burst — chain it into
+    the next hop's arrival curve for tandem analysis.
+    """
+    if not is_stable(arrival, service):
+        return math.inf
+    return arrival.burst + arrival.rate * service.latency
+
+
+def flow_controlled_rate(
+    rate: float | None, latency: float, window: int | None
+) -> float:
+    """Sustained throughput of a credit-window link.
+
+    A window of ``W`` credits over a stage whose credit round-trip is
+    one serialisation time plus ``latency`` (propagation until the far
+    side drains and the credit returns) sustains at most
+    ``W / (1/rate + latency)`` packets per time unit — the classic
+    bandwidth-delay-product limit — and never more than the wire rate
+    itself.  ``None`` means unlimited for either parameter.
+    """
+    wire = math.inf if rate is None else float(rate)
+    if window is None:
+        return wire
+    serialisation = 0.0 if wire == math.inf else 1.0 / wire
+    round_trip = serialisation + latency
+    if round_trip <= 0:
+        return wire
+    return min(wire, window / round_trip)
+
+
+def link_service_curve(
+    rate: float | None, latency: float, buffer: int | None = None
+) -> RateLatency:
+    """Equivalent rate-latency curve of one flow-controlled link stage.
+
+    The sustained rate is the window-limited throughput; the dead time
+    is the propagation latency plus one serialisation slot (the first
+    packet of a burst waits a full slot in the worst case).
+    """
+    effective = flow_controlled_rate(rate, latency, buffer)
+    serialisation = 0.0 if rate is None else 1.0 / rate
+    return RateLatency(rate=effective, latency=latency + serialisation)
+
+
+def link_bounds(
+    arrival: TokenBucket,
+    *,
+    rate: float | None,
+    latency: float,
+    buffer: int | None = None,
+) -> LinkBounds:
+    """Bundle the curves and bounds for one link direction."""
+    service = link_service_curve(rate, latency, buffer)
+    return LinkBounds(
+        arrival=arrival,
+        service=service,
+        delay=delay_bound(arrival, service),
+        backlog=backlog_bound(arrival, service),
+        output_burst=output_burst(arrival, service),
+    )

@@ -37,6 +37,13 @@ breaches, invariant violations and stalls *while the run executes*;
 any violation makes the command exit non-zero.  ``repro bench`` runs
 the telemetry suite, writes ``BENCH_<name>.json`` documents, and
 ``--compare`` gates them against a baseline.
+
+Congestion: ``--link-rate``/``--link-buffer`` enable credit-based
+flow control on every link (senders stall when the downstream buffer
+is full); ``repro observe --congestion`` samples queue occupancy and
+renders a text heatmap, and ``--monitor netcalc`` cross-checks the
+live queues against closed-form network-calculus delay/backlog bounds
+(see ``docs/TUTORIAL.md`` §9).
 """
 
 from __future__ import annotations
@@ -98,6 +105,15 @@ def _obs_needs_trace(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "trace_out", None) or getattr(args, "chrome_trace", None))
 
 
+def _apply_flow_control(args: argparse.Namespace, net) -> None:
+    """Enable credit-based link flow control when the flags ask for it."""
+    rate = getattr(args, "link_rate", None)
+    buffer = getattr(args, "link_buffer", None)
+    if rate is None and buffer is None:
+        return
+    net.set_flow_control(rate=rate, buffer=buffer)
+
+
 def _obs_net(args: argparse.Namespace, *, observed: bool = True):
     """Build the command's network, traced/instrumented as requested.
 
@@ -111,6 +127,7 @@ def _obs_net(args: argparse.Namespace, *, observed: bool = True):
         trace=observed and _obs_needs_trace(args),
         trace_capacity=getattr(args, "trace_capacity", None),
     )
+    _apply_flow_control(args, net)
     stats = None
     if observed and getattr(args, "stats", False):
         from .obs import LiveStats
@@ -220,13 +237,19 @@ def _obs_finish(
         dropped = f", {net.trace.dropped} dropped" if net.trace.dropped else ""
         print(f"trace written to {path} ({len(net.trace)} records{dropped})")
     if getattr(args, "chrome_trace", None):
+        from .sim.trace import TraceKind
+
         spans = build_spans(net.trace)
         ncu_spans = sum(1 for s in spans if s.category == "ncu")
-        path = write_chrome_trace(args.chrome_trace, spans)
+        queue_records = [r for r in net.trace if r.kind is TraceKind.QUEUE]
+        path = write_chrome_trace(args.chrome_trace, spans,
+                                  counters=queue_records)
+        queues = (f"; {len(queue_records)} queue counter samples"
+                  if queue_records else "")
         print(
             f"chrome trace written to {path} ({len(spans)} spans; "
             f"{ncu_spans} ncu-job spans = {net.metrics.system_calls} "
-            "system calls total)"
+            f"system calls total{queues})"
         )
     if stats is not None:
         stats.uninstall()
@@ -237,6 +260,10 @@ def _obs_finish(
         anchor = Path(getattr(args, "chrome_trace", None) or args.trace_out)
         manifest_out = anchor.with_suffix(".manifest.json")
     if manifest_out is not None:
+        for key in ("link_rate", "link_buffer"):
+            value = getattr(args, key, None)
+            if value is not None:
+                extra.setdefault(key, value)
         manifest = RunManifest.collect(
             net,
             command=command,
@@ -445,12 +472,39 @@ def cmd_multicast(args: argparse.Namespace) -> int:
     return code
 
 
+def _alert_summary(records) -> str:
+    """Per-monitor ALERT counts for a record stream (satellite of E17).
+
+    Always one line, so trace readers can grep for it: either
+    ``alerts by monitor: none`` or ``alerts by monitor: name=count, ...``.
+    """
+    from collections import Counter
+
+    from .sim.trace import TraceKind
+
+    counts = Counter(
+        rec.detail.get("monitor", "?")
+        for rec in records
+        if rec.kind is TraceKind.ALERT
+    )
+    if not counts:
+        return "alerts by monitor: none"
+    return "alerts by monitor: " + ", ".join(
+        f"{name}={count}" for name, count in sorted(counts.items())
+    )
+
+
 def cmd_observe(args: argparse.Namespace) -> int:
     """Run one workload fully instrumented and render its timeline."""
     from .obs import LiveStats, build_spans, render_timeline, span_summary_table
 
     if args.from_trace:
-        from .obs import TraceLoadError, records_from_jsonl
+        from .obs import (
+            TraceLoadError,
+            records_from_jsonl,
+            render_congestion_heatmap,
+        )
+        from .sim.trace import TraceKind
 
         try:
             records = records_from_jsonl(args.from_trace)
@@ -469,13 +523,29 @@ def cmd_observe(args: argparse.Namespace) -> int:
                 limit=args.limit,
                 title=f"timeline ({args.from_trace})",
             ))
+        queue_records = [r for r in records if r.kind is TraceKind.QUEUE]
+        if queue_records:
+            print()
+            print(render_congestion_heatmap(
+                queue_records,
+                width=args.timeline_width,
+                title=f"queue occupancy ({args.from_trace})",
+            ))
+        print()
+        print(_alert_summary(records))
         return 0
 
     net = _net(
         args.topology, args.C, args.P,
         trace=True, trace_capacity=args.trace_capacity,
     )
+    _apply_flow_control(args, net)
     stats = LiveStats().install(net) if args.stats else None
+    probe = None
+    if args.congestion:
+        from .obs import CongestionProbe
+
+        probe = CongestionProbe(net, to_trace=True).install()
     host = _attach_monitors(
         args, net, command=args.workload,
         scheme=args.scheme if args.workload == "broadcast" else None,
@@ -521,6 +591,17 @@ def cmd_observe(args: argparse.Namespace) -> int:
             limit=args.limit,
             title=f"timeline ({args.workload} on {args.topology})",
         ))
+    if probe is not None:
+        from .obs import render_congestion_heatmap
+
+        print()
+        print(render_congestion_heatmap(
+            probe.records(),
+            width=args.timeline_width,
+            title=f"queue occupancy ({args.workload} on {args.topology})",
+        ))
+        print()
+        print(probe.render_summary())
     code = _finish_monitors(host)
     _obs_finish(
         args, net, stats,
@@ -958,8 +1039,18 @@ def build_parser() -> argparse.ArgumentParser:
         obs.add_argument("--monitor", type=_monitor_spec, default=None,
                          metavar="LIST",
                          help="comma list of online conformance monitors "
-                              "(budgets, invariants, watchdog, or 'all'); "
-                              "violations make the command exit non-zero")
+                              "(budgets, invariants, watchdog, netcalc, or "
+                              "'all'); violations make the command exit "
+                              "non-zero")
+        fc = p.add_argument_group("flow control")
+        fc.add_argument("--link-rate", type=float, default=None, metavar="R",
+                        help="per-link bandwidth in packets per time unit; "
+                             "enables credit-based flow control "
+                             "(default: unlimited)")
+        fc.add_argument("--link-buffer", type=int, default=None, metavar="B",
+                        help="per-link buffer in packets; senders stall "
+                             "while the downstream buffer is full "
+                             "(default: unbounded)")
         obs.add_argument("--flight-recorder", metavar="PATH", default=None,
                          help="keep a bounded ring of the last scheduler "
                               "events; dump it as replayable JSONL on "
@@ -1042,6 +1133,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--from-trace", metavar="PATH", default=None,
                    help="skip simulating: rebuild spans from a JSONL trace "
                         "written with --trace-out")
+    p.add_argument("--congestion", action="store_true",
+                   help="sample per-link queue occupancy during the run and "
+                        "render a congestion heatmap + per-link stall "
+                        "summary (pairs with --link-rate/--link-buffer)")
     p.set_defaults(func=cmd_observe)
 
     p = sub.add_parser(

@@ -269,7 +269,7 @@ def run_campaign(
                 value, wall_ms, task_perf = _execute(
                     spec.canonical(), spec.label, perf
                 )
-            except Exception as exc:  # noqa: BLE001 — reported, not hidden
+            except Exception as exc:  # reported, not hidden
                 fail(index, f"{type(exc).__name__}: {exc}", attempts=1)
                 continue
             finish(index, value, wall_ms, attempts=1, task_perf=task_perf)
@@ -317,7 +317,7 @@ def _run_pool(
         for proc in list(processes.values()):
             try:
                 proc.terminate()
-            except Exception:  # noqa: BLE001 — already dying
+            except Exception:  # already dying
                 pass
         executor.shutdown(wait=False, cancel_futures=True)
 
@@ -341,7 +341,7 @@ def _run_pool(
         for future, (pending, _t0) in list(inflight.items()):
             try:
                 value, wall_ms, task_perf = future.result(timeout=60)
-            except Exception:  # noqa: BLE001 — pool is gone
+            except Exception:  # pool is gone
                 crashed(pending)
             else:
                 finish(
@@ -382,7 +382,7 @@ def _run_pool(
                     except BrokenProcessPool:
                         broken = True
                         crashed(pending)
-                    except Exception as exc:  # noqa: BLE001 — task's own error
+                    except Exception as exc:  # task's own error
                         fail(
                             pending.index,
                             f"{type(exc).__name__}: {exc}",

@@ -11,9 +11,67 @@ motivates the branching-paths broadcast of Section 3.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Any
+
+from ..sim.trace import TraceKind
+
+
+class LinkFlowState:
+    """Per-direction flow-control state (owned by the sending side).
+
+    One instance exists per direction of a flow-controlled link.  It
+    tracks the credit window (``in_flight`` packets accepted onto the
+    link stage but not yet drained at the far side), the serialisation
+    frontier (``busy_until``) and the sender-side stall queue
+    (``pending``), plus monotonic telemetry the observability layer and
+    the network-calculus monitor read: cumulative arrivals/transmits/
+    stalls, total stalled simulated time, and the high watermarks of
+    occupancy and per-packet link delay.
+    """
+
+    __slots__ = (
+        "sender",
+        "rate",
+        "interval",
+        "buffer",
+        "busy_until",
+        "in_flight",
+        "pending",
+        "arrivals",
+        "xmits",
+        "stalls",
+        "stall_time",
+        "max_occupancy",
+        "max_delay",
+    )
+
+    def __init__(self, sender: Any, rate: float | None, buffer: int | None) -> None:
+        self.sender = sender
+        self.rate = rate
+        #: Serialisation time per packet (0.0 = infinite bandwidth).
+        self.interval = (1.0 / rate) if rate is not None else 0.0
+        self.buffer = buffer
+        self.clear()
+
+    def clear(self) -> None:
+        """Zero all dynamic state (configuration survives)."""
+        self.busy_until = 0.0
+        self.in_flight = 0
+        self.pending: deque[tuple[Any, Any, float]] = deque()
+        self.arrivals = 0
+        self.xmits = 0
+        self.stalls = 0
+        self.stall_time = 0.0
+        self.max_occupancy = 0
+        self.max_delay = 0.0
+
+    @property
+    def occupancy(self) -> int:
+        """Packets currently held by this direction (stalled + in flight)."""
+        return len(self.pending) + self.in_flight
 
 
 @dataclass(frozen=True)
@@ -94,6 +152,10 @@ class Link:
             node_u.node_id: 0.0,
             node_v.node_id: 0.0,
         }
+        #: Flow control is off by default (``None``) so the free-hardware
+        #: model — and every golden trace — is untouched.  When enabled,
+        #: maps sending node id -> :class:`LinkFlowState`.
+        self.fc: dict[Any, LinkFlowState] | None = None
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -139,6 +201,9 @@ class Link:
         watermarks = self._last_arrival
         for sender in watermarks:
             watermarks[sender] = 0.0
+        if self.fc is not None:
+            for state in self.fc.values():
+                state.clear()
 
     # ------------------------------------------------------------------
     # FIFO bookkeeping
@@ -153,3 +218,131 @@ class Link:
         arrival = max(proposed, self._last_arrival[sender_id])
         self._last_arrival[sender_id] = arrival
         return arrival
+
+    # ------------------------------------------------------------------
+    # Credit-based flow control
+    # ------------------------------------------------------------------
+    def set_flow_control(
+        self, *, rate: float | None = None, buffer: int | None = None
+    ) -> None:
+        """Configure (or clear) capacity limits on this link.
+
+        ``rate`` is the per-direction bandwidth in packets per simulated
+        time unit (each transmit occupies the link for ``1/rate``);
+        ``buffer`` is the per-direction credit window — at most that
+        many packets may be in flight before the sender stalls, and a
+        credit returns when the far side drains a packet.  Both default
+        to ``None`` (unlimited); with both ``None`` flow control is
+        removed entirely and the link reverts to the free-hardware fast
+        path.
+        """
+        if rate is not None and rate <= 0:
+            raise ValueError(f"link rate must be positive, got {rate!r}")
+        if buffer is not None and buffer < 1:
+            raise ValueError(f"link buffer must be >= 1, got {buffer!r}")
+        if rate is None and buffer is None:
+            self.fc = None
+            return
+        u_id = self.node_u.node_id
+        v_id = self.node_v.node_id
+        self.fc = {
+            u_id: LinkFlowState(u_id, rate, buffer),
+            v_id: LinkFlowState(v_id, rate, buffer),
+        }
+
+    def fc_forward(self, sender_id: Any, packet: Any, port: tuple) -> None:
+        """Capacity-aware forward: stall on exhausted credits, else send.
+
+        Called by the switching subsystem in place of the free-hardware
+        schedule when :attr:`fc` is set.  ``port`` is the subsystem's
+        port tuple ``(link, far_id, receiving_normal, deliver)``.
+        """
+        state = self.fc[sender_id]
+        state.arrivals += 1
+        net = self.node_u.net
+        now = net.scheduler.now
+        buffer = state.buffer
+        if buffer is not None and state.in_flight >= buffer:
+            # No credit: queue at the sender until the far side drains.
+            state.stalls += 1
+            state.pending.append((packet, port, now))
+            occupancy = len(state.pending) + state.in_flight
+            if occupancy > state.max_occupancy:
+                state.max_occupancy = occupancy
+            probe = net.probe
+            if probe is not None:
+                probe.link_queue(self.key, occupancy, now)
+            perf = net.perf
+            if perf is not None:
+                perf.link_stalls += 1
+                perf.link_occupancy.add(occupancy)
+            trace = net.trace
+            if trace.enabled:
+                trace.record(now, TraceKind.QUEUE, sender_id,
+                             packet=packet.seq, link=self.key,
+                             occupancy=occupancy, stalled=len(state.pending))
+            return
+        self._fc_transmit(state, packet, port, now)
+
+    def _fc_transmit(self, state: LinkFlowState, packet: Any, port: tuple,
+                     requested_at: float) -> None:
+        """Consume a credit and put ``packet`` on the wire."""
+        net = self.node_u.net
+        sender_id = state.sender
+        if not self.active:
+            net.metrics.count_drop("inactive_link")
+            trace = net.trace
+            if trace.enabled:
+                trace.record(net.scheduler.now, TraceKind.PACKET_DROPPED,
+                             sender_id, packet=packet.seq,
+                             reason="inactive_link", link=self.key)
+            return
+        now = net.scheduler.now
+        delay = net.delays.hardware_delay(self.key, packet.seq)
+        depart = now
+        if state.interval:
+            if state.busy_until > depart:
+                depart = state.busy_until
+            state.busy_until = depart + state.interval
+        arrival = self.fifo_arrival(sender_id, depart + delay)
+        state.in_flight += 1
+        state.xmits += 1
+        occupancy = len(state.pending) + state.in_flight
+        if occupancy > state.max_occupancy:
+            state.max_occupancy = occupancy
+        traverse = arrival - requested_at
+        if traverse > state.max_delay:
+            state.max_delay = traverse
+        packet.hops += 1
+        packet._reverse.append(port[2])
+        net.metrics.count_hop(self.key)
+        probe = net.probe
+        if probe is not None:
+            probe.hop(self.key, now)
+            probe.link_queue(self.key, occupancy, now)
+        perf = net.perf
+        if perf is not None:
+            perf.ss_hops += 1
+            perf.link_xmits += 1
+            perf.link_occupancy.add(occupancy)
+        trace = net.trace
+        if trace.enabled:
+            trace.record(now, TraceKind.PACKET_HOP, sender_id,
+                         packet=packet.seq, link=self.key, to=port[1])
+        net.scheduler.schedule_at(arrival, self._fc_arrive, priority=0,
+                                  tag="hop", args=(packet, port, state))
+
+    def _fc_arrive(self, packet: Any, port: tuple, state: LinkFlowState) -> None:
+        """Far-side drain: deliver, return the credit, wake one waiter."""
+        state.in_flight -= 1
+        port[3](packet, self)
+        if state.pending:
+            waiter, waiter_port, requested_at = state.pending.popleft()
+            net = self.node_u.net
+            now = net.scheduler.now
+            waited = now - requested_at
+            state.stall_time += waited
+            probe = net.probe
+            if probe is not None:
+                probe.link_stall(self.key, waited, now)
+            self._fc_transmit(state, waiter, waiter_port, requested_at)

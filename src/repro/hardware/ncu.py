@@ -208,6 +208,10 @@ class NCU:
         #: *distinct* outgoing links at no extra cost, but pushing two
         #: packets through the same port needs two involvements.
         self.ports_used_this_call: set[int] | None = None
+        #: High watermark of the software queue depth (jobs waiting plus
+        #: the one in service), read by the congestion observability
+        #: layer.  One compare per enqueue; never read on the hot path.
+        self.queue_peak = 0
 
     def reset(self) -> None:
         """Restore the pristine pre-``attach()`` state.
@@ -222,6 +226,7 @@ class NCU:
         self._job_seq = 0
         self.handler = None
         self.ports_used_this_call = None
+        self.queue_peak = 0
 
     @property
     def busy(self) -> bool:
@@ -248,6 +253,9 @@ class NCU:
                 "but no protocol is attached"
             )
         self._queue.append(job)
+        depth = len(self._queue) + (1 if self._busy else 0)
+        if depth > self.queue_peak:
+            self.queue_peak = depth
         if not self._busy:
             self._begin_next()
 

@@ -29,7 +29,10 @@ the per-hop cycle and must be allocation-free in steady state:
 * the in-flight leg is scheduled as the far side's long-lived
   ``_deliver`` bound method plus ``args`` — no per-hop closure;
 * trace records are guarded on ``trace.enabled`` so a disabled trace
-  costs one attribute load, not a kwargs dict.
+  costs one attribute load, not a kwargs dict;
+* capacity limits are opt-in: the free-hardware path pays one
+  ``link.fc is not None`` check per hop, and flow-controlled links
+  divert to :meth:`repro.hardware.link.Link.fc_forward`.
 """
 
 from __future__ import annotations
@@ -275,6 +278,11 @@ class SwitchingSubsystem:
                     reason="inactive_link",
                     link=link.key,
                 )
+            return
+
+        fc = link.fc
+        if fc is not None:
+            link.fc_forward(me, packet, port)
             return
 
         now = net.scheduler.now

@@ -139,6 +139,42 @@ class Network:
         key = (u, v) if (u, v) in self.links else (v, u)
         return self.links[key]
 
+    def set_flow_control(
+        self,
+        *,
+        rate: float | None = None,
+        buffer: int | None = None,
+        links: "list[tuple[Any, Any]] | None" = None,
+    ) -> int:
+        """Apply credit-based flow control network-wide (or to ``links``).
+
+        ``rate`` is the per-direction bandwidth in packets per time
+        unit, ``buffer`` the per-direction credit window; both ``None``
+        removes flow control (see
+        :meth:`repro.hardware.link.Link.set_flow_control`).  Returns the
+        number of links configured.
+        """
+        if links is None:
+            targets = list(self.links.values())
+        else:
+            targets = [self.link(u, v) for u, v in links]
+        for link in targets:
+            link.set_flow_control(rate=rate, buffer=buffer)
+        return len(targets)
+
+    def flow_states(self) -> "list[tuple[Link, Any]]":
+        """All ``(link, LinkFlowState)`` directions with flow control on.
+
+        Deterministic order: links in build (repr-sorted) order, the
+        two directions in each link's endpoint order.
+        """
+        out = []
+        for link in self.links.values():
+            if link.fc is not None:
+                for state in link.fc.values():
+                    out.append((link, state))
+        return out
+
     def diameter(self) -> int:
         """Hop diameter of the (current, active) topology.
 

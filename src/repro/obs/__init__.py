@@ -31,6 +31,7 @@ from .exporters import (
     records_to_jsonl,
     write_chrome_trace,
 )
+from .congestion import CongestionProbe
 from .live import Histogram, LiveStats
 from .manifest import CampaignManifest, RunManifest, git_revision
 from .perf import PerfCounters, SamplingProfiler, merge_perf_dicts
@@ -43,6 +44,7 @@ from .monitors import (
     InvariantMonitor,
     Monitor,
     MonitorHost,
+    NetCalcMonitor,
     ProgressWatchdog,
     broadcast_budgets,
     budgets_for,
@@ -51,7 +53,11 @@ from .monitors import (
     render_alerts,
 )
 from .spans import Span, build_spans, children_index, makespan, span_counts
-from .timeline import render_timeline, span_summary_table
+from .timeline import (
+    render_congestion_heatmap,
+    render_timeline,
+    span_summary_table,
+)
 
 __all__ = [
     "Alert",
@@ -60,6 +66,7 @@ __all__ = [
     "Budget",
     "BudgetMonitor",
     "CampaignManifest",
+    "CongestionProbe",
     "FlightRecorder",
     "Histogram",
     "InvariantMonitor",
@@ -68,6 +75,7 @@ __all__ = [
     "MetricComparison",
     "Monitor",
     "MonitorHost",
+    "NetCalcMonitor",
     "PerfCounters",
     "ProgressWatchdog",
     "RunManifest",
@@ -95,6 +103,7 @@ __all__ = [
     "regressions",
     "render_alerts",
     "render_comparison",
+    "render_congestion_heatmap",
     "render_metrics",
     "render_timeline",
     "run_benchmark",

@@ -230,6 +230,64 @@ def _bench_hotpath_forwarding() -> tuple[dict[str, float], RunManifest]:
     return metrics, manifest
 
 
+def _bench_congested_forwarding() -> tuple[dict[str, float], RunManifest]:
+    """Flow-controlled bottleneck: the hotpath workload, over-driven.
+
+    The same line-streaming shape as ``hotpath_forwarding``, but every
+    link carries credit-based flow control (rate 2 packets per time
+    unit, window 4) while the source injects at 20 per time unit — ten
+    times the sustainable rate — so the first link's sender queue grows
+    deep and drains at the bottleneck rate.  Exercises the entire
+    congestion path: stall queueing, credit return, serialisation
+    spacing and the occupancy/stall telemetry.  All congestion metrics
+    (stalls, stalled simulated time, occupancy/delay watermarks) are
+    deterministic, so they regression-gate at the exact-equality
+    threshold, and the queue-occupancy histogram is embedded in the
+    manifest for the on-disk document.
+    """
+    from ..hardware.anr import build_anr
+    from ..network.builder import from_spec
+    from ..network.protocol import Protocol
+    from ..sim import FixedDelays
+    from .live import LiveStats
+
+    length, packets = 32, 240
+    rate, buffer = 2.0, 4
+    net = from_spec(f"line:{length}", delays=FixedDelays(0.1, 1.0))
+    net.set_flow_control(rate=rate, buffer=buffer)
+    net.attach(lambda api: Protocol(api))  # deliveries terminate quietly
+    header = build_anr(list(range(length)), net.id_lookup)
+    source = net.node(0)
+    stats = LiveStats().install(net)
+
+    def drive() -> None:
+        for i in range(packets):
+            net.scheduler.schedule_at(
+                0.05 * i, source.inject, args=(header, i), tag="inject"
+            )
+        net.run_to_quiescence(max_events=10_000_000)
+
+    metrics = _timed(net, drive)
+    stats.uninstall()
+    states = [state for _, state in net.flow_states()]
+    metrics["stalls"] = float(sum(s.stalls for s in states))
+    metrics["stall_sim_time"] = float(sum(s.stall_time for s in states))
+    metrics["max_occupancy"] = float(max(s.max_occupancy for s in states))
+    metrics["max_link_delay"] = float(max(s.max_delay for s in states))
+    manifest = RunManifest.collect(
+        net,
+        command="bench:congested_forwarding",
+        topology=f"line:{length}",
+        C=0.1,
+        P=1.0,
+        link_rate=rate,
+        link_buffer=buffer,
+        queue_occupancy=stats.queue_occupancy.to_dict(),
+        stall_time=stats.link_stall_time.to_dict(),
+    )
+    return metrics, manifest
+
+
 def _bench_substrate_reuse() -> tuple[dict[str, float], RunManifest]:
     """Cold-path benchmark: 200-seed Monte-Carlo, reuse vs rebuild.
 
@@ -332,6 +390,9 @@ BENCHMARKS: tuple[Benchmark, ...] = (
               _bench_scheduler_churn),
     Benchmark("hotpath_forwarding", "end-to-end ANR streaming, line:64",
               _bench_hotpath_forwarding),
+    Benchmark("congested_forwarding",
+              "flow-controlled bottleneck line, over-driven source",
+              _bench_congested_forwarding),
     Benchmark("substrate_reuse", "200-seed Monte-Carlo, pooled reset vs rebuild",
               _bench_substrate_reuse),
 )

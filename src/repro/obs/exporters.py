@@ -115,13 +115,21 @@ def records_from_jsonl(path: str | Path) -> list[TraceRecord]:
 # Chrome trace events
 # ----------------------------------------------------------------------
 def chrome_trace_document(
-    spans: Iterable[Span], *, process_name: str = "repro simulator"
+    spans: Iterable[Span],
+    *,
+    process_name: str = "repro simulator",
+    counters: Iterable[TraceRecord] = (),
 ) -> dict[str, Any]:
     """Build a Chrome trace-event document (the JSON object format).
 
     Every span becomes a complete (``"ph": "X"``) event with its node's
     lane as ``tid``; zero-length spans get a 1 µs floor so they stay
     visible.  Span args ride along under ``args`` for the inspector.
+
+    ``counters`` takes :attr:`TraceKind.QUEUE` records (other kinds are
+    skipped) and renders each flow-controlled link direction as a
+    counter track (``"ph": "C"``) named ``queue <link> from <sender>``,
+    with stalled and in-flight packets as stacked series.
     """
     spans = list(spans)
     lanes: dict[str, int] = {}
@@ -160,6 +168,26 @@ def chrome_trace_document(
                 "ts": span.start * US_PER_TIME_UNIT,
                 "dur": max(1.0, span.duration * US_PER_TIME_UNIT),
                 "args": {k: _jsonable(v) for k, v in span.args.items()},
+            }
+        )
+    for rec in counters:
+        if rec.kind is not TraceKind.QUEUE:
+            continue
+        detail = rec.detail
+        occupancy = detail.get("occupancy", 0)
+        stalled = detail.get("stalled", 0)
+        events.append(
+            {
+                "ph": "C",
+                "pid": 1,
+                "tid": 0,
+                "name": f"queue {detail.get('link')} from {rec.node}",
+                "ts": rec.time * US_PER_TIME_UNIT,
+                "args": {
+                    "stalled": _jsonable(stalled),
+                    "in_flight": _jsonable(detail.get("in_flight",
+                                                      occupancy - stalled)),
+                },
             }
         )
     return {"traceEvents": events, "displayTimeUnit": "ms"}

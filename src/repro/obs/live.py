@@ -16,7 +16,8 @@ Collected measures:
 * event-queue depth (live events only — cancelled timers excluded),
 * wall-clock microseconds per simulated event (simulator throughput),
 * NCU service time per job and cumulative busy time per node,
-* hop counts per link.
+* hop counts per link,
+* queue occupancy and credit-stall times on flow-controlled links.
 
 When nothing is installed the hooks cost the substrate one attribute
 load and one identity check per event — see ``bench_obs_overhead.py``
@@ -184,6 +185,8 @@ class LiveStats:
         depth_bounds: Sequence[float] | None = None,
         wallclock_bounds_us: Sequence[float] | None = None,
         service_bounds: Sequence[float] | None = None,
+        occupancy_bounds: Sequence[float] | None = None,
+        stall_bounds: Sequence[float] | None = None,
     ) -> None:
         if sample_queue_every < 1:
             raise ValueError("sample_queue_every must be >= 1")
@@ -196,10 +199,21 @@ class LiveStats:
         self.service_time = Histogram(
             service_bounds or [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
         )
+        #: Link queue occupancy (stalled + in flight), one sample per
+        #: flow-control transition; only fed on flow-controlled links.
+        self.queue_occupancy = Histogram(
+            occupancy_bounds
+            or [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        )
+        #: Simulated time each stalled packet waited for a credit.
+        self.link_stall_time = Histogram(
+            stall_bounds or Histogram.geometric(0.01, 1_000.0, 12).bounds
+        )
         self.events_seen = 0
         self.ncu_busy_by_node: dict[Any, float] = {}
         self.jobs_by_kind: Counter = Counter()
         self.hops_by_link: Counter = Counter()
+        self.stalls_by_link: Counter = Counter()
         self._sample_every = sample_queue_every
         self._scheduler = None
         self._net: "Network | None" = None
@@ -260,6 +274,15 @@ class LiveStats:
         """One packet traversed one link."""
         self.hops_by_link[link_key] += 1
 
+    def link_queue(self, link_key: Hashable, depth: int, now: float) -> None:
+        """A flow-controlled link's occupancy changed (stall or xmit)."""
+        self.queue_occupancy.add(depth)
+
+    def link_stall(self, link_key: Hashable, waited: float, now: float) -> None:
+        """A stalled packet finally got a credit after ``waited`` time."""
+        self.link_stall_time.add(waited)
+        self.stalls_by_link[link_key] += 1
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -296,6 +319,10 @@ class LiveStats:
             self.wallclock_us.summary_row("wall-clock per event (us)"),
             self.service_time.summary_row("ncu service time"),
         ]
+        if self.queue_occupancy.count:
+            rows.append(self.queue_occupancy.summary_row("link occupancy (pkts)"))
+        if self.link_stall_time.count:
+            rows.append(self.link_stall_time.summary_row("link stall time (sim)"))
         out = [
             format_table(
                 ["measure", "count", "mean", "p50", "p95", "min", "max"],
@@ -314,5 +341,8 @@ class LiveStats:
         hottest = self.hottest_link
         if hottest is not None:
             extras.append(["hottest link", f"{hottest[0]} ({hottest[1]} hops)"])
+        if self.stalls_by_link:
+            link, stalls = self.stalls_by_link.most_common(1)[0]
+            extras.append(["most-stalled link", f"{link} ({stalls} stalls)"])
         out.append(format_table(["total", "value"], extras))
         return "\n\n".join(out)

@@ -22,6 +22,11 @@ Built-in monitors:
   the scheduler's O(1) ``pending_live``: a simulated-time deadline, an
   event-queue depth limit, and a stall detector for event churn that
   makes no measurable progress.
+* :class:`NetCalcMonitor` — network-calculus conformance on
+  flow-controlled links (:mod:`repro.analysis.netcalc`): per-direction
+  token-bucket arrival conformance, and — while traffic conforms —
+  the closed-form backlog and delay bounds of the link's rate-latency
+  service curve.
 
 Alerts are recorded into the network's :class:`~repro.sim.trace.Trace`
 as :attr:`~repro.sim.trace.TraceKind.ALERT` records, so they flow
@@ -50,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.events import Event
 
 #: The monitor names the CLI's ``--monitor`` flag accepts.
-MONITOR_NAMES = ("budgets", "invariants", "watchdog")
+MONITOR_NAMES = ("budgets", "invariants", "watchdog", "netcalc")
 
 
 @dataclass(frozen=True)
@@ -453,6 +458,215 @@ class ProgressWatchdog(Monitor):
 
 
 # ----------------------------------------------------------------------
+# Network-calculus conformance
+# ----------------------------------------------------------------------
+class _LinkTracker:
+    """Online state for one flow-controlled link direction."""
+
+    __slots__ = (
+        "link", "state", "arrival", "service",
+        "delay_bound", "backlog_bound",
+        "tokens", "last_time", "seen_arrivals", "conforming",
+        "backlog_armed", "delay_armed",
+    )
+
+    def __init__(self, link: Any, state: Any, arrival: Any, service: Any,
+                 delay: float, backlog: float) -> None:
+        self.link = link
+        self.state = state
+        self.arrival = arrival
+        self.service = service
+        self.delay_bound = delay
+        self.backlog_bound = backlog
+        self.tokens = arrival.burst
+        self.last_time = 0.0
+        self.seen_arrivals = 0
+        self.conforming = True
+        self.backlog_armed = backlog != float("inf")
+        self.delay_armed = delay != float("inf")
+
+
+class NetCalcMonitor(Monitor):
+    """Cross-check flow-controlled links against network-calculus bounds.
+
+    For every link direction with flow control enabled this monitor
+    keeps a token bucket ``(rate, burst)`` as the direction's declared
+    arrival curve and the link's rate-latency service curve
+    (:func:`repro.analysis.netcalc.link_service_curve`, built from the
+    configured rate, the delay model's worst-case hardware delay and
+    the credit window).  Per check it:
+
+    1. replays the direction's cumulative arrivals through the token
+       bucket — a deficit means the traffic *exceeds its declared
+       envelope* (one alert, after which the closed-form bounds no
+       longer apply and checks 2–3 disarm for that direction);
+    2. compares live occupancy against the backlog bound ``b + r*T``;
+    3. compares the measured worst per-packet link delay against the
+       delay bound ``T + b/R``.
+
+    On conforming traffic, 2 and 3 are theorems — an alert there means
+    the simulation contradicts the calculus and is worth a postmortem
+    (the CLI trips the flight recorder on any alert).
+
+    ``arrival`` overrides the declared curve for every direction; the
+    default is the most permissive *stable* envelope — rate equal to
+    the direction's sustained window-limited service rate, burst equal
+    to its credit window — so any traffic a conforming source could
+    actually sustain passes check 1.
+    """
+
+    name = "netcalc"
+
+    def __init__(
+        self,
+        net: "Network",
+        *,
+        arrival: Any | None = None,
+        every: int = 1,
+        eps: float = 1e-9,
+    ) -> None:
+        from ..analysis.netcalc import (
+            TokenBucket,
+            backlog_bound,
+            delay_bound,
+            link_service_curve,
+        )
+
+        if every < 1:
+            raise ValueError("check cadence must be >= 1")
+        self.net = net
+        self.every = every
+        self.eps = eps
+        self._count = 0
+        latency = net.delays.hardware_bound
+        self._tracked: list[_LinkTracker] = []
+        for link, state in net.flow_states():
+            service = link_service_curve(state.rate, latency, state.buffer)
+            curve = arrival
+            if curve is None:
+                burst = float(state.buffer) if state.buffer is not None else 1.0
+                curve = TokenBucket(rate=service.rate, burst=max(1.0, burst))
+            self._tracked.append(
+                _LinkTracker(
+                    link, state, curve, service,
+                    delay_bound(curve, service),
+                    backlog_bound(curve, service),
+                )
+            )
+
+    @property
+    def tracked_count(self) -> int:
+        """Flow-controlled link directions under observation."""
+        return len(self._tracked)
+
+    def bounds_table(self) -> str:
+        """Text table of the per-direction curves and bounds."""
+        rows = [
+            [
+                f"{t.link.key} from {t.state.sender}",
+                f"r={t.arrival.rate:g} b={t.arrival.burst:g}",
+                f"R={t.service.rate:g} T={t.service.latency:g}",
+                f"{t.delay_bound:g}",
+                f"{t.backlog_bound:g}",
+            ]
+            for t in self._tracked
+        ]
+        return format_table(
+            ["direction", "arrival", "service", "delay bound", "backlog bound"],
+            rows,
+            title="network-calculus bounds",
+        )
+
+    def check(self, event: "Event") -> Iterable[Alert]:
+        self._count += 1
+        if self._count % self.every:
+            return ()
+        now = self.net.scheduler.now
+        eps = self.eps
+        alerts: list[Alert] = []
+        for tracker in self._tracked:
+            state = tracker.state
+            curve = tracker.arrival
+            # 1. Token-bucket conformance on cumulative arrivals.
+            dt = now - tracker.last_time
+            if dt > 0.0:
+                tracker.last_time = now
+                if curve.rate != float("inf"):
+                    tracker.tokens = min(
+                        curve.burst, tracker.tokens + curve.rate * dt
+                    )
+                else:
+                    tracker.tokens = curve.burst
+            new = state.arrivals - tracker.seen_arrivals
+            if new:
+                tracker.seen_arrivals = state.arrivals
+                tracker.tokens -= new
+                if tracker.tokens < -eps and tracker.conforming:
+                    tracker.conforming = False
+                    deficit = -tracker.tokens
+                    alerts.append(
+                        Alert(
+                            time=now,
+                            monitor=self.name,
+                            message=(
+                                f"link {tracker.link.key} from "
+                                f"{tracker.state.sender}: traffic exceeds its "
+                                f"declared arrival curve (rate "
+                                f"{curve.rate:g}, burst {curve.burst:g}) by "
+                                f"{deficit:g} packets; netcalc bounds no "
+                                "longer apply to this direction"
+                            ),
+                            measure="arrival conformance",
+                            observed=float(deficit),
+                            bound=0.0,
+                        )
+                    )
+            if not tracker.conforming:
+                continue
+            # 2. Backlog bound (theorem while traffic conforms).
+            if tracker.backlog_armed:
+                occupancy = len(state.pending) + state.in_flight
+                if occupancy > tracker.backlog_bound + eps:
+                    tracker.backlog_armed = False
+                    alerts.append(
+                        Alert(
+                            time=now,
+                            monitor=self.name,
+                            message=(
+                                f"link {tracker.link.key} from "
+                                f"{tracker.state.sender}: occupancy "
+                                f"{occupancy} exceeds the network-calculus "
+                                f"backlog bound {tracker.backlog_bound:g} on "
+                                "conforming traffic"
+                            ),
+                            measure="backlog bound",
+                            observed=float(occupancy),
+                            bound=tracker.backlog_bound,
+                        )
+                    )
+            # 3. Delay bound (theorem while traffic conforms).
+            if tracker.delay_armed and state.max_delay > tracker.delay_bound + eps:
+                tracker.delay_armed = False
+                alerts.append(
+                    Alert(
+                        time=now,
+                        monitor=self.name,
+                        message=(
+                            f"link {tracker.link.key} from "
+                            f"{tracker.state.sender}: measured link delay "
+                            f"{state.max_delay:g} exceeds the "
+                            f"network-calculus delay bound "
+                            f"{tracker.delay_bound:g} on conforming traffic"
+                        ),
+                        measure="delay bound",
+                        observed=state.max_delay,
+                        bound=tracker.delay_bound,
+                    )
+                )
+        return alerts
+
+
+# ----------------------------------------------------------------------
 # CLI plumbing
 # ----------------------------------------------------------------------
 def monitors_from_spec(
@@ -469,6 +683,7 @@ def monitors_from_spec(
     command).  Raises :class:`ValueError` on unknown names.
     """
     names = [part.strip() for part in spec.split(",") if part.strip()]
+    netcalc_explicit = "netcalc" in names
     if "all" in names:
         names = list(MONITOR_NAMES)
     unknown = sorted(set(names) - set(MONITOR_NAMES))
@@ -493,6 +708,17 @@ def monitors_from_spec(
             monitors.append(InvariantMonitor(net))
         elif name == "watchdog":
             monitors.append(ProgressWatchdog(net))
+        elif name == "netcalc":
+            monitor = NetCalcMonitor(net)
+            if monitor.tracked_count:
+                monitors.append(monitor)
+            elif netcalc_explicit:
+                # 'all' skips silently: most runs have no flow control
+                # and the note would be pure noise there.
+                notes.append(
+                    "(no flow-controlled links; netcalc monitor skipped — "
+                    "enable with --link-rate/--link-buffer)"
+                )
     return monitors, notes
 
 

@@ -56,6 +56,13 @@ if TYPE_CHECKING:  # pragma: no cover
 #: collected by different campaign workers must always merge.
 HANDLER_US_BOUNDS: tuple[float, ...] = Histogram.geometric(0.5, 50_000.0, 12).bounds
 
+#: Fixed bin bounds (packets) for the link queue-occupancy histogram.
+#: Fixed process-wide for the same reason as ``HANDLER_US_BOUNDS``:
+#: campaign workers merge bin-exactly.
+OCCUPANCY_BOUNDS: tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0,
+)
+
 #: Monotonic event counters, one per instrumented subsystem hook.
 COUNTER_FIELDS = (
     "sched_push",
@@ -65,6 +72,8 @@ COUNTER_FIELDS = (
     "trace_records",
     "substrate_builds",
     "substrate_resets",
+    "link_xmits",
+    "link_stalls",
 )
 
 #: Cumulative wall-clock timers (seconds), one per timed region.
@@ -84,18 +93,21 @@ class PerfCounters:
     handler wall-time histogram (microseconds, fixed bounds).
     """
 
-    __slots__ = COUNTER_FIELDS + TIMER_FIELDS + ("handler_us", "_rate_samples")
+    __slots__ = COUNTER_FIELDS + TIMER_FIELDS + (
+        "handler_us", "link_occupancy", "_rate_samples",
+    )
 
     def __init__(self) -> None:
         self.clear()
 
     def clear(self) -> None:
-        """Zero every counter, timer and the histogram."""
+        """Zero every counter, timer and the histograms."""
         for name in COUNTER_FIELDS:
             setattr(self, name, 0)
         for name in TIMER_FIELDS:
             setattr(self, name, 0.0)
         self.handler_us = Histogram(HANDLER_US_BOUNDS)
+        self.link_occupancy = Histogram(OCCUPANCY_BOUNDS)
         #: (wall seconds, sched_pop) samples for the rolling rate meter.
         self._rate_samples: deque[tuple[float, int]] = deque(maxlen=256)
 
@@ -226,14 +238,16 @@ class PerfCounters:
         for name in TIMER_FIELDS:
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.handler_us.merge(other.handler_us)
+        self.link_occupancy.merge(other.link_occupancy)
         return self
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dict: ``{"counters", "timers_s", "handler_us"}``."""
+        """JSON-safe dict: counters, timers and both histograms."""
         return {
             "counters": {name: getattr(self, name) for name in COUNTER_FIELDS},
             "timers_s": {name: getattr(self, name) for name in TIMER_FIELDS},
             "handler_us": self.handler_us.to_dict(),
+            "link_occupancy": self.link_occupancy.to_dict(),
         }
 
     @classmethod
@@ -249,6 +263,9 @@ class PerfCounters:
         hist = data.get("handler_us")
         if hist:
             self.handler_us = Histogram.from_dict(hist)
+        occupancy = data.get("link_occupancy")
+        if occupancy:
+            self.link_occupancy = Histogram.from_dict(occupancy)
         return self
 
     def render(self, *, title: str = "perf attribution") -> str:
@@ -261,11 +278,16 @@ class PerfCounters:
             for name in TIMER_FIELDS
         ]
         out = [format_table(["counter", "value"], rows, title=title)]
+        hist_rows = []
         if self.handler_us.count:
+            hist_rows.append(self.handler_us.summary_row("ncu handler wall (us)"))
+        if self.link_occupancy.count:
+            hist_rows.append(self.link_occupancy.summary_row("link occupancy (pkts)"))
+        if hist_rows:
             out.append(
                 format_table(
                     ["measure", "count", "mean", "p50", "p95", "min", "max"],
-                    [self.handler_us.summary_row("ncu handler wall (us)")],
+                    hist_rows,
                 )
             )
         return "\n\n".join(out)

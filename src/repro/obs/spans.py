@@ -74,8 +74,9 @@ def build_spans(trace: Trace | Iterable[TraceRecord]) -> list[Span]:
     """
     if isinstance(trace, Trace) and trace.dropped:
         warnings.warn(
-            f"trace was capacity-truncated ({trace.dropped} records dropped); "
-            "span reconstruction is incomplete",
+            f"trace was capacity-truncated at {trace.capacity} records "
+            f"({trace.dropped} records dropped); span reconstruction is "
+            "incomplete — raise --trace-capacity to keep the full run",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -11,10 +11,15 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence
 
 from ..metrics.report import format_table
+from ..sim.trace import TraceKind, TraceRecord
 from .spans import Span, span_counts
 
 #: Rendering order and glyph per category.
 _GLYPHS = {"packet": "=", "hop": "-", "ncu": "#", "phase": "~", "alert": "!"}
+
+#: Intensity ramp for the congestion heatmap: index scales with the
+#: bucket's peak occupancy relative to the global maximum.
+_HEAT_RAMP = " .:-=+*#%@"
 
 
 def render_timeline(
@@ -66,6 +71,55 @@ def render_timeline(
     if dropped:
         out += f"\n... {dropped} more spans not shown"
     return out
+
+
+def render_congestion_heatmap(
+    records: "Iterable[TraceRecord]",
+    *,
+    width: int = 56,
+    title: str | None = None,
+) -> str:
+    """Render QUEUE records as a per-link-direction text heatmap.
+
+    One row per flow-controlled link direction; the last column maps
+    the simulated time range onto ``width`` character cells, each cell
+    showing the *peak* occupancy sampled in that time bucket on the
+    :data:`_HEAT_RAMP` intensity scale (space = no sample / empty
+    queue, ``@`` = the global peak).  Non-QUEUE records are ignored,
+    so a full trace can be passed as-is.
+    """
+    samples: dict[tuple[Any, Any], list[tuple[float, int]]] = {}
+    for rec in records:
+        if rec.kind is not TraceKind.QUEUE:
+            continue
+        key = (rec.detail.get("link"), rec.node)
+        samples.setdefault(key, []).append(
+            (rec.time, int(rec.detail.get("occupancy", 0)))
+        )
+    if not samples:
+        return "(no queue samples)"
+
+    t0 = min(t for series in samples.values() for t, _ in series)
+    t1 = max(t for series in samples.values() for t, _ in series)
+    extent = max(t1 - t0, 1e-12)
+    peak = max(occ for series in samples.values() for _, occ in series)
+    peak = max(peak, 1)
+    top = len(_HEAT_RAMP) - 1
+
+    rows = []
+    for (link, sender), series in sorted(samples.items(), key=lambda kv: repr(kv[0])):
+        cells = [0] * width
+        for t, occ in series:
+            cell = min(int((t - t0) / extent * width), width - 1)
+            if occ > cells[cell]:
+                cells[cell] = occ
+        heat = "".join(
+            _HEAT_RAMP[min(top, (occ * top + peak - 1) // peak)] for occ in cells
+        )
+        rows.append([str(link), str(sender), max(o for _, o in series), heat])
+
+    axis = f"t=[{t0:g}..{t1:g}] peak={peak}"
+    return format_table(["link", "from", "peak", axis], rows, title=title)
 
 
 def span_summary_table(spans: Iterable[Span], *, title: str | None = None) -> str:

@@ -31,6 +31,7 @@ class TraceKind(Enum):
     PROTOCOL_NOTE = "protocol_note"
     ALERT = "alert"
     SCHED_EVENT = "sched_event"
+    QUEUE = "queue"
 
 
 @dataclass(slots=True)

@@ -1,0 +1,438 @@
+"""Flow-controlled links, congestion telemetry and the netcalc monitor.
+
+Covers the congestion-observability stack end to end:
+
+* credit-based flow control on :class:`~repro.hardware.link.Link`
+  (serialisation spacing, stalls, credit drain, reset, failure during
+  a stall);
+* the closed-form network-calculus bounds in
+  :mod:`repro.analysis.netcalc`;
+* :class:`~repro.obs.monitors.NetCalcMonitor` — silent on conforming
+  traffic, one arrival-conformance alert (and a replayable flight
+  recorder postmortem) on an over-driven source;
+* :class:`~repro.obs.congestion.CongestionProbe` sampling, the text
+  heatmap and the Chrome counter tracks;
+* the new per-link perf counters and their bin-exact campaign merge.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.netcalc import (
+    RateLatency,
+    TokenBucket,
+    backlog_bound,
+    convolve,
+    delay_bound,
+    flow_controlled_rate,
+    is_stable,
+    link_bounds,
+    link_service_curve,
+    output_burst,
+)
+from repro.hardware.anr import build_anr
+from repro.network.builder import from_spec
+from repro.network.protocol import Protocol
+from repro.obs import (
+    CongestionProbe,
+    FlightRecorder,
+    LiveStats,
+    MonitorHost,
+    NetCalcMonitor,
+    PerfCounters,
+    chrome_trace_document,
+    monitors_from_spec,
+    records_from_jsonl,
+    render_congestion_heatmap,
+)
+from repro.sim import FixedDelays
+from repro.sim.trace import TraceKind
+
+
+def _line(length: int, *, rate=None, buffer=None, trace=False, C=0.1):
+    net = from_spec(f"line:{length}", delays=FixedDelays(C, 1.0), trace=trace)
+    if rate is not None or buffer is not None:
+        net.set_flow_control(rate=rate, buffer=buffer)
+    net.attach(lambda api: Protocol(api))
+    return net
+
+
+def _drive(net, length: int, packets: int, gap: float) -> None:
+    header = build_anr(list(range(length)), net.id_lookup)
+    source = net.node(0)
+    for i in range(packets):
+        net.scheduler.schedule_at(
+            gap * i, source.inject, args=(header, i), tag="inject"
+        )
+    net.run_to_quiescence(max_events=10_000_000)
+
+
+def _state(net, link_key, sender):
+    for link, state in net.flow_states():
+        if link.key == link_key and state.sender == sender:
+            return state
+    raise AssertionError(f"no flow state for {link_key} from {sender}")
+
+
+# ----------------------------------------------------------------------
+# Flow-control semantics
+# ----------------------------------------------------------------------
+def test_default_links_carry_no_flow_state():
+    net = _line(4)
+    assert all(link.fc is None for link in net.links.values())
+    assert net.flow_states() == []
+
+
+def test_set_flow_control_validates_and_counts():
+    net = _line(4)
+    assert net.set_flow_control(rate=2.0, buffer=3) == 3
+    assert len(net.flow_states()) == 6  # two directions per link
+    with pytest.raises(ValueError):
+        net.set_flow_control(rate=0.0)
+    with pytest.raises(ValueError):
+        net.set_flow_control(buffer=0)
+    # Both None clears the state entirely.
+    assert net.set_flow_control() == 3
+    assert all(link.fc is None for link in net.links.values())
+
+
+def test_rate_limit_serialises_departures():
+    """At rate R each transmit occupies the wire for 1/R."""
+    net = _line(2, rate=2.0)
+    _drive(net, 2, packets=6, gap=0.01)  # burst far faster than the link
+    state = _state(net, (0, 1), 0)
+    assert state.xmits == 6
+    # Departures back up behind the serialisation frontier: 6 packets
+    # at 0.5 each, starting from t=0.
+    assert state.busy_until == pytest.approx(6 * 0.5)
+    # The last packet waited ~5 serialisation slots plus the C delay.
+    assert state.max_delay == pytest.approx(5 * 0.5 - 0.05 + 0.1)
+
+
+def test_bounded_buffer_stalls_and_drains():
+    net = _line(2, rate=1.0, buffer=2)
+    _drive(net, 2, packets=8, gap=0.0)  # all injected at t=0
+    state = _state(net, (0, 1), 0)
+    assert state.arrivals == 8
+    assert state.xmits == 8          # every packet eventually crosses
+    assert state.stalls == 8 - 2     # only the window fits immediately
+    assert state.stall_time > 0
+    assert state.max_occupancy == 8
+    assert state.in_flight == 0      # fully drained at quiescence
+    assert not state.pending
+    # Everything was delivered despite the stalls.
+    assert net.metrics.copies == 8
+
+
+def test_unlimited_rate_with_buffer_only():
+    """buffer-only flow control: no serialisation, credits still bound."""
+    net = _line(2, buffer=4)
+    _drive(net, 2, packets=6, gap=0.0)
+    state = _state(net, (0, 1), 0)
+    assert state.xmits == 6
+    assert state.stalls == 2
+    assert net.metrics.copies == 6
+
+
+def test_flow_control_preserves_fifo_per_direction():
+    net = _line(2, rate=1.0, buffer=1, trace=True)
+    _drive(net, 2, packets=5, gap=0.0)
+    hops = [r for r in net.trace
+            if r.kind is TraceKind.PACKET_HOP and r.node == 0]
+    seqs = [r.detail["packet"] for r in sorted(hops, key=lambda r: r.time)]
+    assert seqs == sorted(seqs)
+
+
+def test_reset_clears_flow_state_and_reruns_identically():
+    net = _line(3, rate=1.0, buffer=2)
+    _drive(net, 3, packets=6, gap=0.0)
+    first = (net.metrics.system_calls, net.scheduler.now,
+             _state(net, (0, 1), 0).stalls)
+    net.reset()
+    for link, state in net.flow_states():
+        assert state.in_flight == 0
+        assert state.arrivals == 0
+        assert state.busy_until == 0.0
+        assert not state.pending
+    net.attach(lambda api: Protocol(api))
+    _drive(net, 3, packets=6, gap=0.0)
+    second = (net.metrics.system_calls, net.scheduler.now,
+              _state(net, (0, 1), 0).stalls)
+    assert second == first
+
+
+def test_link_failure_drops_stalled_packets():
+    """A link that dies mid-stall drops the queued waiters on transmit."""
+    net = _line(2, rate=1.0, buffer=1)
+    header = build_anr([0, 1], net.id_lookup)
+    source = net.node(0)
+    for i in range(4):
+        net.scheduler.schedule_at(0.0, source.inject, args=(header, i))
+    net.scheduler.schedule_at(1.5, lambda: net.fail_link(0, 1), tag="fail")
+    net.run_to_quiescence(max_events=10_000)
+    # p0/p1 deliver; p2 dies in flight; p3 is dropped when its stalled
+    # transmit finds the link inactive.
+    assert net.metrics.copies == 2
+    assert net.metrics.drops == 2
+    state = _state(net, (0, 1), 0)
+    assert state.xmits == 3
+    assert not state.pending and state.in_flight == 0
+
+
+# ----------------------------------------------------------------------
+# Network-calculus bounds (Zippo & Stea, arXiv:2203.02497)
+# ----------------------------------------------------------------------
+def test_curves_evaluate_and_validate():
+    alpha = TokenBucket(rate=2.0, burst=3.0)
+    assert alpha(0.0) == 0.0  # alpha is 0 at the origin by convention
+    assert alpha(2.0) == 7.0
+    beta = RateLatency(rate=4.0, latency=1.5)
+    assert beta(1.0) == 0.0 and beta(2.5) == 4.0
+    with pytest.raises(ValueError):
+        TokenBucket(rate=-1.0, burst=0.0)
+    with pytest.raises(ValueError):
+        RateLatency(rate=0.0, latency=0.0)
+    with pytest.raises(ValueError):
+        RateLatency(rate=1.0, latency=-1.0)
+
+
+def test_closed_form_bounds():
+    alpha = TokenBucket(rate=1.0, burst=4.0)
+    beta = RateLatency(rate=2.0, latency=0.5)
+    assert is_stable(alpha, beta)
+    assert delay_bound(alpha, beta) == pytest.approx(0.5 + 4.0 / 2.0)
+    assert backlog_bound(alpha, beta) == pytest.approx(4.0 + 1.0 * 0.5)
+    assert output_burst(alpha, beta) == pytest.approx(4.0 + 1.0 * 0.5)
+
+
+def test_unstable_pair_gives_infinite_delay():
+    alpha = TokenBucket(rate=3.0, burst=1.0)
+    beta = RateLatency(rate=2.0, latency=0.0)
+    assert not is_stable(alpha, beta)
+    assert delay_bound(alpha, beta) == math.inf
+
+
+def test_convolution_takes_min_rate_and_sums_latency():
+    a = RateLatency(rate=2.0, latency=0.5)
+    b = RateLatency(rate=3.0, latency=1.0)
+    c = convolve(a, b)
+    assert c.rate == 2.0 and c.latency == 1.5
+
+
+def test_flow_controlled_rate_window_limit():
+    # wire rate 10, latency 0.9, window 2: round trip = 0.1 + 0.9 = 1.0,
+    # so the window sustains 2 packets per time unit despite the fast wire.
+    eff = flow_controlled_rate(10.0, 0.9, 2)
+    assert eff == pytest.approx(2.0)
+    # A huge window leaves the wire the bottleneck.
+    assert flow_controlled_rate(10.0, 0.9, None) == pytest.approx(10.0)
+    assert flow_controlled_rate(None, 0.9, None) == math.inf
+
+
+def test_link_bounds_bundle():
+    bounds = link_bounds(
+        arrival=TokenBucket(rate=1.0, burst=2.0),
+        rate=2.0, latency=0.1, buffer=4,
+    )
+    assert bounds.service.rate <= 2.0
+    assert bounds.delay >= bounds.service.latency
+    assert bounds.backlog >= 2.0
+
+
+def test_service_curve_latency_includes_serialisation():
+    curve = link_service_curve(2.0, 0.1, None)
+    assert curve.latency == pytest.approx(0.1 + 0.5)
+
+
+# ----------------------------------------------------------------------
+# NetCalcMonitor
+# ----------------------------------------------------------------------
+def test_netcalc_monitor_silent_on_conforming_traffic():
+    length = 6
+    net = _line(length, rate=2.0, buffer=4)
+    monitor = NetCalcMonitor(net)
+    assert monitor.tracked_count == 2 * (length - 1)
+    host = MonitorHost(net, [monitor]).install()
+    _drive(net, length, packets=20, gap=2.0)  # well under rate 2.0
+    host.finish()
+    assert host.alerts == []
+    # Bounds held in actuality too, not just per the monitor.
+    for link, state in net.flow_states():
+        assert state.stalls == 0
+
+
+def test_netcalc_monitor_flags_overdriven_source(tmp_path):
+    length = 4
+    net = _line(length, rate=1.0, buffer=2)
+    path = tmp_path / "postmortem.jsonl"
+    recorder = FlightRecorder(net, capacity=64, path=path).install()
+    host = MonitorHost(
+        net, [NetCalcMonitor(net)], on_alert=recorder.note_alert
+    ).install()
+    _drive(net, length, packets=30, gap=0.05)  # 20x the sustainable rate
+    host.finish()
+    assert host.alerts, "over-driven source must trip the monitor"
+    first = host.alerts[0]
+    assert first.monitor == "netcalc"
+    assert first.measure == "arrival conformance"
+    # Nonconformance disarms the bound checks for that direction: the
+    # alert stream stays bounded by the direction count.
+    assert len(host.alerts) <= 2 * (length - 1)
+    # The alert tripped the recorder into a replayable postmortem.
+    assert path.exists()
+    records = records_from_jsonl(path)
+    assert any(r.kind is TraceKind.ALERT for r in records)
+    alert = next(r for r in records if r.kind is TraceKind.ALERT)
+    assert alert.detail["monitor"] == "netcalc"
+
+
+def test_netcalc_bounds_table_lists_directions():
+    net = _line(3, rate=2.0, buffer=4)
+    table = NetCalcMonitor(net).bounds_table()
+    assert "(0, 1)" in table and "(1, 2)" in table
+
+
+def test_monitors_from_spec_skips_netcalc_without_flow_control():
+    net = _line(3)
+    monitors, notes = monitors_from_spec(net, "netcalc", command="test")
+    assert monitors == []
+    assert any("netcalc" in note for note in notes)
+    net.set_flow_control(rate=1.0, buffer=2)
+    monitors, notes = monitors_from_spec(net, "netcalc", command="test")
+    assert len(monitors) == 1 and monitors[0].name == "netcalc"
+
+
+# ----------------------------------------------------------------------
+# CongestionProbe + rendering + export
+# ----------------------------------------------------------------------
+def test_congestion_probe_samples_bounded_ring():
+    net = _line(4, rate=1.0, buffer=1)
+    probe = CongestionProbe(net, sample_every=4, capacity=8).install()
+    _drive(net, 4, packets=12, gap=0.0)
+    assert 0 < len(probe) <= 8
+    for rec in probe.records():
+        assert rec.kind is TraceKind.QUEUE
+        assert "occupancy" in rec.detail and "link" in rec.detail
+
+
+def test_congestion_probe_mirrors_into_trace():
+    net = _line(3, rate=1.0, buffer=1, trace=True)
+    probe = CongestionProbe(net, sample_every=4, to_trace=True).install()
+    _drive(net, 3, packets=8, gap=0.0)
+    assert len(probe) > 0
+    queue = [r for r in net.trace if r.kind is TraceKind.QUEUE]
+    assert len(queue) >= len(probe)  # stall path records + mirrored samples
+
+
+def test_heatmap_renders_occupancy():
+    net = _line(3, rate=1.0, buffer=1)
+    probe = CongestionProbe(net, sample_every=2).install()
+    _drive(net, 3, packets=10, gap=0.0)
+    art = render_congestion_heatmap(probe.records(), width=24)
+    assert "(0, 1)" in art
+    assert "peak=" in art
+    assert render_congestion_heatmap([], width=24) == "(no queue samples)"
+
+
+def test_probe_summary_reports_stalls():
+    net = _line(3, rate=1.0, buffer=1)
+    probe = CongestionProbe(net).install()
+    _drive(net, 3, packets=10, gap=0.0)
+    summary = probe.render_summary()
+    assert "stalls" in summary and "(0, 1)" in summary
+
+
+def test_chrome_counters_from_queue_records():
+    net = _line(3, rate=1.0, buffer=1, trace=True)
+    probe = CongestionProbe(net, sample_every=2, to_trace=True).install()
+    _drive(net, 3, packets=10, gap=0.0)
+    queue = [r for r in net.trace if r.kind is TraceKind.QUEUE]
+    doc = chrome_trace_document([], counters=queue)
+    counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+    assert len(counters) == len(queue)
+    assert all(e["name"].startswith("queue ") for e in counters)
+    assert all("stalled" in e["args"] and "in_flight" in e["args"]
+               for e in counters)
+
+
+def test_live_stats_histograms_see_congestion():
+    net = _line(3, rate=1.0, buffer=1)
+    stats = LiveStats().install(net)
+    _drive(net, 3, packets=10, gap=0.0)
+    assert stats.queue_occupancy.count > 0
+    assert stats.link_stall_time.count > 0
+    assert stats.stalls_by_link  # the bottleneck direction shows up
+    rendered = stats.render()
+    assert "link occupancy" in rendered
+    assert "stall" in rendered
+
+
+def test_ncu_queue_peak_watermark():
+    """The NCU records its high-water queue depth; reset clears it."""
+    net = _line(2, buffer=4)
+    _drive(net, 2, packets=6, gap=0.0)
+    # Deliveries arrive faster than the P=1.0 service time, so the
+    # terminal NCU backs up.
+    assert net.node(1).ncu.queue_peak >= 2
+    net.reset()
+    assert net.node(1).ncu.queue_peak == 0
+
+
+# ----------------------------------------------------------------------
+# Perf counters: new fields, round trip, bin-exact merge
+# ----------------------------------------------------------------------
+def test_perf_counts_link_xmits_and_stalls():
+    net = _line(3, rate=1.0, buffer=1)
+    perf = PerfCounters().install(net)
+    _drive(net, 3, packets=8, gap=0.0)
+    state = _state(net, (0, 1), 0)
+    assert perf.link_stalls >= state.stalls > 0
+    assert perf.link_xmits >= state.xmits
+    assert perf.link_occupancy.count > 0
+    data = perf.to_dict()
+    clone = PerfCounters.from_dict(data)
+    assert clone.link_xmits == perf.link_xmits
+    assert clone.link_stalls == perf.link_stalls
+    assert clone.link_occupancy.to_dict() == perf.link_occupancy.to_dict()
+    assert "link occupancy" in perf.render()
+
+
+def test_perf_merge_adds_occupancy_bin_exactly():
+    from repro.obs.live import Histogram
+    from repro.obs.perf import OCCUPANCY_BOUNDS
+
+    a, b = PerfCounters(), PerfCounters()
+    for v in (1, 3, 70):
+        a.link_occupancy.add(v)
+    for v in (2, 3000):
+        b.link_occupancy.add(v)
+    a.link_stalls, b.link_stalls = 4, 5
+    a.merge(b)
+    assert a.link_stalls == 9
+    expected = Histogram(OCCUPANCY_BOUNDS)
+    for v in (1, 3, 70, 2, 3000):
+        expected.add(v)
+    assert a.link_occupancy.to_dict() == expected.to_dict()
+
+
+def test_campaign_merged_perf_occupancy_identical_across_jobs(tmp_path):
+    from repro.exec import TaskSpec, run_campaign
+
+    specs = [
+        TaskSpec.make(
+            "repro.exec.workloads:bench_counters",
+            name="congested_forwarding",
+            label="bench:congested_forwarding",
+        )
+    ]
+    serial = run_campaign(specs, jobs=1, cache=None, perf=True)
+    pooled = run_campaign(specs, jobs=2, cache=None, perf=True)
+    sm, pm = serial.merged_perf(), pooled.merged_perf()
+    assert sm is not None and pm is not None
+    assert sm["link_occupancy"] == pm["link_occupancy"]
+    assert sm["counters"]["link_stalls"] == pm["counters"]["link_stalls"]
+    assert sm["counters"]["link_stalls"] > 0
+    assert serial.results[0].value == pooled.results[0].value

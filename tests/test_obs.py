@@ -243,6 +243,39 @@ def test_histogram_geometric_bounds():
     assert len(hist.bounds) == 7
 
 
+def test_histogram_merge_empty_into_populated_is_identity():
+    populated = Histogram([1.0, 2.0, 4.0])
+    for value in (0.5, 3.0, 9.0):
+        populated.add(value)
+    before = populated.to_dict()
+    populated.merge(Histogram([1.0, 2.0, 4.0]))
+    assert populated.to_dict() == before
+
+
+def test_histogram_merge_populated_into_empty_copies_everything():
+    populated = Histogram([1.0, 2.0, 4.0])
+    for value in (0.5, 3.0, 9.0):
+        populated.add(value)
+    empty = Histogram([1.0, 2.0, 4.0])
+    empty.merge(populated)
+    assert empty.to_dict() == populated.to_dict()
+    assert empty.minimum == 0.5 and empty.maximum == 9.0
+    assert empty.mean == populated.mean
+
+
+def test_histogram_merge_two_empties_stays_empty():
+    a, b = Histogram([1.0]), Histogram([1.0])
+    a.merge(b)
+    assert a.count == 0
+    assert a.minimum is None and a.maximum is None
+    assert a.mean == 0.0 and a.quantile(0.5) == 0.0
+
+
+def test_histogram_merge_rejects_mismatched_bounds():
+    with pytest.raises(ValueError):
+        Histogram([1.0, 2.0]).merge(Histogram([1.0, 3.0]))
+
+
 def test_live_stats_observe_a_run():
     net = from_spec("grid:4,4", delays=FixedDelays(0.0, 1.0))
     stats = LiveStats().install(net)
@@ -314,12 +347,33 @@ def test_live_stats_uninstall_stops_collection():
     assert stats.total_jobs == 0 and stats.events_seen == 0
 
 
+def test_live_stats_zero_sample_finalization():
+    """Install + uninstall with no run: render and totals stay sane."""
+    net = from_spec("ring:4", delays=FixedDelays(0.0, 1.0))
+    stats = LiveStats().install(net)
+    stats.uninstall()
+    assert stats.total_jobs == 0 and stats.total_hops == 0
+    assert stats.busiest_node is None
+    assert stats.hottest_link is None
+    assert stats.queue_occupancy.count == 0
+    assert stats.link_stall_time.count == 0
+    rendered = stats.render()
+    assert "events observed" in rendered
+    # Empty histograms are omitted, not rendered as bogus zeros.
+    assert "link occupancy" not in rendered
+
+
 def test_build_spans_warns_on_truncated_trace():
     trace = Trace(capacity=2)
     for i in range(5):
         trace.record(float(i), TraceKind.NCU_JOB_START, node=i, job="x")
-    with pytest.warns(RuntimeWarning, match="capacity-truncated"):
+    with pytest.warns(RuntimeWarning, match="capacity-truncated") as caught:
         build_spans(trace)
+    # The warning names the configured capacity and the dropped count,
+    # so the fix (--trace-capacity) is actionable without digging.
+    message = str(caught[0].message)
+    assert "at 2 records" in message
+    assert "3 records dropped" in message
     # Full traces and bare record lists stay silent.
     full = Trace()
     full.record(0.0, TraceKind.NCU_JOB_START, node=0, job="x")
