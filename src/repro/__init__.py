@@ -18,7 +18,10 @@ software processor (NCU) per node whose every involvement is a
   (C, P) delay models;
 * ``repro.metrics`` — system-call / hop / time complexity accounting;
 * ``repro.analysis`` — closed forms and sweep drivers for the
-  experiment harness.
+  experiment harness;
+* ``repro.scenario`` — declarative churn scenarios (crashes,
+  partitions, re-elections) compiled to scheduler events, and the
+  adversarial-delay search that hunts for bound-beating timings.
 
 Quickstart::
 
@@ -31,7 +34,7 @@ Quickstart::
     leader = {k for k, v in net.outputs_for_key("is_leader").items() if v}
 """
 
-from . import analysis, core, hardware, metrics, network, sim
+from . import analysis, core, hardware, metrics, network, scenario, sim
 from .core import (
     BranchingPathsBroadcast,
     ChangRoberts,
@@ -92,6 +95,7 @@ __all__ = [
     "parameterized_model",
     "run_standalone_broadcast",
     "run_tree_aggregation",
+    "scenario",
     "sim",
     "topologies",
     "__version__",

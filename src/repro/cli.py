@@ -114,6 +114,27 @@ def _apply_flow_control(args: argparse.Namespace, net) -> None:
     net.set_flow_control(rate=rate, buffer=buffer)
 
 
+def _apply_scenario(args: argparse.Namespace, net) -> None:
+    """Compile a ``--scenario FILE`` spec onto ``net`` (events only).
+
+    Run commands keep their own ``--topology``/``--C``/``--P``; the
+    file contributes just the churn schedule, so any workload can be
+    replayed under any failure story.  Use ``repro scenario run`` to
+    execute a spec with its own substrate settings.
+    """
+    path = getattr(args, "scenario", None)
+    if not path:
+        return
+    from .scenario import ScenarioSpec, compile_scenario
+
+    spec = ScenarioSpec.load(path)
+    compiled = compile_scenario(net, spec)
+    print(
+        f"scenario {compiled.name!r}: {compiled.events} event(s) scheduled "
+        f"through t={compiled.last_event_time:g}"
+    )
+
+
 def _obs_net(args: argparse.Namespace, *, observed: bool = True):
     """Build the command's network, traced/instrumented as requested.
 
@@ -128,6 +149,7 @@ def _obs_net(args: argparse.Namespace, *, observed: bool = True):
         trace_capacity=getattr(args, "trace_capacity", None),
     )
     _apply_flow_control(args, net)
+    _apply_scenario(args, net)
     stats = None
     if observed and getattr(args, "stats", False):
         from .obs import LiveStats
@@ -540,6 +562,7 @@ def cmd_observe(args: argparse.Namespace) -> int:
         trace=True, trace_capacity=args.trace_capacity,
     )
     _apply_flow_control(args, net)
+    _apply_scenario(args, net)
     stats = LiveStats().install(net) if args.stats else None
     probe = None
     if args.congestion:
@@ -779,6 +802,149 @@ def cmd_bench(args: argparse.Namespace) -> int:
             )
             exit_code = 1
     return exit_code
+
+
+def _scenario_spec(args: argparse.Namespace):
+    """Load ``--spec FILE`` or generate the seeded churn preset."""
+    from .scenario import ScenarioSpec, churn_scenario
+
+    if args.spec:
+        spec = ScenarioSpec.load(args.spec)
+    else:
+        spec = churn_scenario(
+            args.topology,
+            seed=args.churn_seed,
+            C=args.C,
+            P=args.P,
+            crashes=args.crashes,
+            partition=args.partition,
+            spacing=args.spacing,
+        )
+    if args.spec_out:
+        print(f"scenario spec written to {spec.save(args.spec_out)}")
+    return spec
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    """Run one scenario spec, or search its adversarial delay space."""
+    from .scenario import run_delay_search, run_scenario
+
+    try:
+        spec = _scenario_spec(args)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "run":
+        # The spec owns the substrate: its topology and (C, P) override
+        # the command-line flags so a saved spec replays exactly.
+        args.topology, args.C, args.P = spec.topology, spec.C, spec.P
+        if args.monitor is None:
+            args.monitor = "churn"
+        net, stats = _obs_net(args)
+        host = _attach_monitors(args, net, command="scenario")
+        row = run_scenario(net, spec, monitor=False)
+        print(format_table(
+            ["scenario", "final_time", "system_calls", "tour+return",
+             "drops", "leader(s)", "components"],
+            [[row["scenario"], f"{row['final_time']:g}", row["system_calls"],
+              row["tour_return_calls"], row["drops"],
+              ",".join(row["leaders"]) or "-", row["components"]]],
+            title=f"scenario on {spec.topology} (C={spec.C:g}, P={spec.P:g}, "
+                  f"{len(spec.events)} events)",
+        ))
+        code = _finish_monitors(host)
+        _obs_finish(
+            args, net, stats,
+            command="scenario", scenario=spec.name,
+            events=len(spec.events), **_monitor_extra(host),
+        )
+        return code
+
+    # action == "search": explore delay assignments via the campaign.
+    import json
+
+    def announce(result) -> None:
+        status = "cache" if result.status == "cached" else result.status
+        print(f"[{status:>5}] {result.spec.label}")
+
+    outcome, report = run_delay_search(
+        spec,
+        trials=args.trials,
+        root_seed=args.root_seed,
+        bias=args.bias,
+        jobs=args.jobs,
+        cache=None if args.no_cache else args.cache_dir,
+        max_tasks=args.max_tasks,
+        on_result=announce,
+    )
+    print()
+    print(format_table(
+        ["tasks", "executed", "cached", "failed", "skipped"],
+        [[len(outcome.results), outcome.executed, outcome.cache_hits,
+          len(outcome.failures), outcome.skipped]],
+        title=f"delay search on {spec.name!r} at --jobs {args.jobs}",
+    ))
+    if outcome.failures:
+        first = outcome.failures[0]
+        print(f"error: {len(outcome.failures)} task(s) failed "
+              f"(first: {first.spec.label}: {first.error})", file=sys.stderr)
+        return 1
+    if outcome.interrupted:
+        print(f"interrupted after {outcome.executed} execution(s); "
+              f"{outcome.skipped} task(s) pending — re-run to resume "
+              "from the cache")
+        return 3
+    assert report is not None
+    bound = report["calls_bound"]
+    print()
+    print(format_table(
+        ["measure", "at bounds", "worst found", "worst seed", "closed-form"],
+        [
+            ["final time", f"{report['at_bounds_time']:g}",
+             f"{report['worst_time']:g}",
+             report["worst_time_seed"] if report["worst_time_seed"] is not None
+             else "(at-bounds)",
+             "-"],
+            ["tour+return calls", report["at_bounds_calls"],
+             report["worst_calls"],
+             report["worst_calls_seed"] if report["worst_calls_seed"] is not None
+             else "(at-bounds)",
+             f"{bound:g}" if bound is not None else "-"],
+        ],
+        title=f"adversarial-delay search: {report['trials']} trials on "
+              f"n={report['n']} ({report['violations']} churn violations)",
+    ))
+    if args.rows_out:
+        rows_doc = {
+            "workload": "scenario-search",
+            "params": {"scenario": spec.to_dict(), "trials": args.trials,
+                       "root_seed": args.root_seed, "bias": args.bias},
+            "report": report,
+            "rows": outcome.values(),
+        }
+        path = Path(args.rows_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(rows_doc, indent=2, sort_keys=True) + "\n")
+        print(f"rows written to {path}")
+    if args.manifest_out:
+        from .obs import CampaignManifest
+
+        manifest = CampaignManifest.from_outcome(
+            outcome, command="scenario-search", scenario=spec.name,
+            trials=args.trials, root_seed=args.root_seed,
+        )
+        print(f"campaign manifest written to "
+              f"{manifest.write(args.manifest_out)}")
+    if report["violations"]:
+        print(f"error: {report['violations']} churn invariant violation(s) "
+              "across the search", file=sys.stderr)
+        return 1
+    if not report["within_bounds"]:
+        print(f"error: worst-found tour+return calls {report['worst_calls']} "
+              f"exceed the closed-form bound {bound:g}", file=sys.stderr)
+        return 1
+    return 0
 
 
 CAMPAIGN_WORKLOADS = ("tradeoff", "montecarlo", "bench")
@@ -1039,9 +1205,13 @@ def build_parser() -> argparse.ArgumentParser:
         obs.add_argument("--monitor", type=_monitor_spec, default=None,
                          metavar="LIST",
                          help="comma list of online conformance monitors "
-                              "(budgets, invariants, watchdog, netcalc, or "
-                              "'all'); violations make the command exit "
-                              "non-zero")
+                              "(budgets, invariants, watchdog, netcalc, "
+                              "churn, or 'all'); violations make the "
+                              "command exit non-zero")
+        p.add_argument("--scenario", metavar="FILE", default=None,
+                       help="compile a scenario spec's failure/churn events "
+                            "onto this run (the command keeps its own "
+                            "topology and delays; see 'repro scenario')")
         fc = p.add_argument_group("flow control")
         fc.add_argument("--link-rate", type=float, default=None, metavar="R",
                         help="per-link bandwidth in packets per time unit; "
@@ -1186,6 +1356,60 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sampling rate for --flamegraph "
                         "(default %(default)s)")
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser(
+        "scenario",
+        help="run a churn scenario (crashes, partitions, re-elections) "
+             "or search its adversarial delay space against the "
+             "closed-form bounds",
+    )
+    p.add_argument("action", choices=("run", "search"),
+                   help="run: execute one spec under ChurnMonitor; "
+                        "search: explore seeded delay assignments via a "
+                        "resumable campaign")
+    common(p)
+    p.add_argument("--spec", metavar="FILE", default=None,
+                   help="scenario spec JSON (default: generate the seeded "
+                        "churn preset from the flags below)")
+    p.add_argument("--spec-out", metavar="PATH", default=None,
+                   help="save the spec (loaded or generated) as JSON")
+    preset = p.add_argument_group("churn preset (without --spec)")
+    preset.add_argument("--churn-seed", type=int, default=0,
+                        help="seed for the generated churn story "
+                             "(default %(default)s)")
+    preset.add_argument("--crashes", type=int, default=1,
+                        help="nodes to crash mid-partition "
+                             "(default %(default)s)")
+    preset.add_argument("--partition", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="include the partition/heal phase")
+    preset.add_argument("--spacing", type=float, default=200.0,
+                        help="time between scenario phases "
+                             "(default %(default)s)")
+    search = p.add_argument_group("delay search (action 'search')")
+    search.add_argument("--trials", type=int, default=20,
+                        help="seeded adversarial assignments to try, plus "
+                             "the at-bounds run (default %(default)s)")
+    search.add_argument("--root-seed", type=int, default=0,
+                        help="root for trial-seed derivation "
+                             "(default %(default)s)")
+    search.add_argument("--bias", type=float, default=0.5,
+                        help="probability a delay pins at its bound "
+                             "(default %(default)s)")
+    search.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes (default %(default)s); rows "
+                             "are byte-identical for any N)")
+    search.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                        help="content-addressed result cache "
+                             "(default %(default)s)")
+    search.add_argument("--no-cache", action="store_true",
+                        help="recompute everything; do not touch the cache")
+    search.add_argument("--max-tasks", type=int, default=None, metavar="K",
+                        help="execute at most K fresh tasks then stop "
+                             "(exit 3); re-running resumes from the cache")
+    search.add_argument("--rows-out", default=None, metavar="PATH",
+                        help="write the search rows + report as JSON")
+    p.set_defaults(func=cmd_scenario)
 
     p = sub.add_parser(
         "campaign",

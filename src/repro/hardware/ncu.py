@@ -166,11 +166,14 @@ class NodeApi:
             self._timer_fire,
             priority=2,
             tag=_timer_label(tag),
-            args=(tag, payload),
+            args=(tag, payload, self._node.ncu.incarnation),
         )
 
-    def _timer_fire(self, tag: str, payload: Any) -> None:
+    def _timer_fire(self, tag: str, payload: Any, incarnation: int = 0) -> None:
         node = self._node
+        if node.ncu.incarnation != incarnation:
+            # Set before a crash; the restarted software never armed it.
+            return
         net = node.net
         trace = net.trace
         if trace.enabled:
@@ -201,6 +204,20 @@ class NCU:
         self._complete_cb = self._complete
         #: Set by the network when a protocol is attached.
         self.handler: Callable[[NodeApi, Job], None] | None = None
+        #: Whether this NCU is down after a :meth:`crash` (churn
+        #: scenarios).  While crashed, arriving jobs are *dropped* —
+        #: a down processor loses work — instead of raising the
+        #: no-protocol error a never-attached NCU raises.
+        self.crashed = False
+        #: Restart generation.  Timers capture the incarnation they
+        #: were set in and are discarded on fire when it no longer
+        #: matches, so state lost in a crash cannot leak back in
+        #: through the event queue.
+        self.incarnation = 0
+        #: The scheduled completion event of the job in service, kept
+        #: so :meth:`crash` can cancel it (state loss includes the job
+        #: on the processor).
+        self._service_event: Event | None = None
         #: While a handler runs, the set of first-header IDs (output
         #: ports) already used by sends in this invocation; ``None``
         #: outside handler context.  Enforces the model's multicast
@@ -225,8 +242,41 @@ class NCU:
         self._busy = False
         self._job_seq = 0
         self.handler = None
+        self.crashed = False
+        self.incarnation = 0
+        self._service_event = None
         self.ports_used_this_call = None
         self.queue_peak = 0
+
+    def crash(self) -> None:
+        """Take the NCU down with total state loss.
+
+        The job in service is abandoned (its completion event is
+        cancelled), the queue is emptied, and the handler — which holds
+        all protocol state through its bound instance — is detached.
+        Pending timers die lazily: their stored incarnation no longer
+        matches after the next :meth:`restart`.
+        """
+        if self._service_event is not None:
+            self._service_event.cancel()
+            self._service_event = None
+        self._queue.clear()
+        self._busy = False
+        self._job_seq = 0
+        self.handler = None
+        self.ports_used_this_call = None
+        self.crashed = True
+
+    def restart(self, handler: Callable[[NodeApi, Job], None]) -> None:
+        """Bring a crashed NCU back up with a fresh handler.
+
+        Bumps the incarnation so timers armed before the crash are
+        discarded when they fire — the restarted protocol starts from
+        blank state, exactly as a rebooted node would.
+        """
+        self.crashed = False
+        self.incarnation += 1
+        self.handler = handler
 
     @property
     def busy(self) -> bool:
@@ -248,6 +298,10 @@ class NCU:
     def enqueue(self, job: Job) -> None:
         """Queue one job; begins service immediately if the NCU is idle."""
         if self.handler is None:
+            if self.crashed:
+                # A down processor loses arriving work silently.
+                self._node.net.metrics.count_drop("ncu_crashed")
+                return
             raise ProtocolError(
                 f"node {self._node.node_id} received a {job.kind.value} job "
                 "but no protocol is attached"
@@ -283,7 +337,7 @@ class NCU:
         probe = net.probe
         if probe is not None:
             probe.ncu_job_start(self._node.node_id, kind, net.scheduler.now, service)
-        net.scheduler.schedule(
+        self._service_event = net.scheduler.schedule(
             service, self._complete_cb, priority=1, tag="ncu", args=(job,)
         )
 
@@ -316,5 +370,6 @@ class NCU:
                     self._node.node_id, job.accounting_kind, net.scheduler.now
                 )
             self._busy = False
+            self._service_event = None
             if self._queue:
                 self._begin_next()

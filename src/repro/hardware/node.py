@@ -66,6 +66,28 @@ class Node:
         self.ncu.reset()
         self.ss.reset()
 
+    def crash(self) -> None:
+        """Crash the node's software with total state loss.
+
+        The NCU goes down (queue, in-service job and protocol state are
+        lost) and the SS forgets installed multicast groups — hardware
+        state provisioned by software does not survive the software that
+        provisioned it.  The port tables are build products and stay.
+        """
+        self.protocol = None
+        self.ncu.crash()
+        self.ss.reset()
+
+    def restart(self, factory: Any) -> None:
+        """Restart a crashed node with a fresh protocol instance.
+
+        The new instance starts from its constructor state — nothing
+        from before the crash survives.
+        """
+        protocol = factory(self.api)
+        self.protocol = protocol
+        self.ncu.restart(protocol.dispatch)
+
     def link_to(self, neighbor_id: Any) -> Link:
         """The link toward a neighbour (KeyError if not adjacent)."""
         return self.links[neighbor_id]

@@ -77,26 +77,16 @@ class FailureSchedule:
         return max((a.time for a in self.actions), default=0.0)
 
     def apply(self, net: "Network") -> None:
-        """Schedule every action on the network's event queue."""
-        for action in self:
-            if action.kind is FailureKind.FAIL_LINK:
-                u, v = action.target
-                net.schedule_link_failure(u, v, action.time)
-            elif action.kind is FailureKind.RESTORE_LINK:
-                u, v = action.target
-                net.schedule_link_restore(u, v, action.time)
-            elif action.kind is FailureKind.FAIL_NODE:
-                node_id = action.target
-                net.scheduler.schedule_at(
-                    action.time, lambda n=node_id: net.fail_node(n), tag="fail_node"
-                )
-            elif action.kind is FailureKind.RESTORE_NODE:
-                node_id = action.target
-                net.scheduler.schedule_at(
-                    action.time,
-                    lambda n=node_id: net.restore_node(n),
-                    tag="restore_node",
-                )
+        """Schedule every action on the network's event queue.
+
+        Delegates to the scenario compiler
+        (:func:`repro.scenario.compiler.schedule_failure_actions`), so
+        the legacy DSL and declarative scenario specs share one
+        closure-free scheduling path.
+        """
+        from ..scenario.compiler import schedule_failure_actions
+
+        schedule_failure_actions(net, self)
 
 
 def random_link_failures(

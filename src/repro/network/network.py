@@ -24,6 +24,7 @@ from ..hardware.ncu import Job, JobKind
 from ..hardware.node import Node
 from ..metrics.accounting import MetricsCollector
 from ..sim.delays import DelayModel, limiting_model
+from ..sim.errors import ProtocolError
 from ..sim.scheduler import Scheduler
 from ..sim.trace import Trace, TraceKind
 from .datalink import DataLinkMonitor
@@ -72,6 +73,9 @@ class Network:
         self._packet_seq = itertools.count(1)
         self._group_seq = itertools.count(0)
         self._datalink = DataLinkMonitor(self, delay=datalink_delay)
+        #: Remembered by :meth:`attach` so crashed nodes can be
+        #: restarted with fresh protocol instances.
+        self._protocol_factory: ProtocolFactory | None = None
 
         #: Bumped whenever a link changes state; the derived-view caches
         #: (``active_graph`` / ``adjacency`` / ``diameter``) key on it.
@@ -243,6 +247,7 @@ class Network:
         self.__dict__.pop("perf", None)
         self._packet_seq = itertools.count(1)
         self._group_seq = itertools.count(0)
+        self._protocol_factory = None
         if delays is not None:
             self.delays = delays
         self._datalink.reset()
@@ -264,6 +269,7 @@ class Network:
     # ------------------------------------------------------------------
     def attach(self, factory: ProtocolFactory) -> None:
         """Instantiate the protocol on every node and wire the NCUs."""
+        self._protocol_factory = factory
         for node in self.nodes.values():
             protocol = factory(node.api)
             node.protocol = protocol
@@ -340,6 +346,81 @@ class Network:
         """Reactivate all links of a previously failed node."""
         for neighbor in list(self.nodes[node_id].links):
             self.restore_link(node_id, neighbor)
+
+    def crash_node(self, node_id: Any) -> None:
+        """Crash a node: links go down, NCU state is lost (Section 2 +
+        churn extension).
+
+        Unlike :meth:`fail_node` — which only severs the links and
+        leaves the software intact — a crash also destroys the node's
+        protocol state, queued jobs, in-service job and pending timers.
+        Jobs arriving while crashed are dropped (``ncu_crashed``).
+        """
+        for neighbor in list(self.nodes[node_id].links):
+            self._set_link_state(node_id, neighbor, active=False)
+        self.nodes[node_id].crash()
+
+    def restart_node(self, node_id: Any, *, start: bool = True) -> None:
+        """Restart a crashed node with a blank protocol instance.
+
+        The software comes up *before* the links, so the fresh instance
+        observes its links returning via ``on_link_change`` — the
+        restart-triggered rejoin signal.  With ``start=True`` (default)
+        a START job is also enqueued, modelling a boot script that
+        launches the protocol, which is what triggers re-elections.
+        """
+        if self._protocol_factory is None:
+            raise ProtocolError(
+                f"cannot restart node {node_id}: no protocol was attached"
+            )
+        node = self.nodes[node_id]
+        node.restart(self._protocol_factory)
+        for neighbor in list(node.links):
+            self._set_link_state(node_id, neighbor, active=True)
+        if start:
+            now = self.scheduler.now
+            node.ncu.enqueue(Job(kind=JobKind.START, payload=None, enqueued_at=now))
+
+    def partition(self, groups: Iterable[Iterable[Any]]) -> list[tuple[Any, Any]]:
+        """Cut every active link between distinct groups of nodes.
+
+        ``groups`` are disjoint sets of node IDs; nodes not listed in
+        any group form one implicit extra group.  Links *within* a group
+        are untouched, so each side keeps operating — and electing its
+        own coordinator — independently.  Returns the keys of the links
+        cut, in build order (deterministic).
+        """
+        index: dict[Any, int] = {}
+        for i, group in enumerate(groups):
+            for node_id in group:
+                if node_id not in self.nodes:
+                    raise ValueError(f"unknown node {node_id!r} in partition group")
+                if node_id in index:
+                    raise ValueError(
+                        f"node {node_id!r} appears in two partition groups"
+                    )
+                index[node_id] = i
+        cut: list[tuple[Any, Any]] = []
+        for key, link in self.links.items():
+            u, v = key
+            if link.active and index.get(u, -1) != index.get(v, -1):
+                self._set_link_state(u, v, active=False)
+                cut.append(key)
+        return cut
+
+    def heal(self) -> list[tuple[Any, Any]]:
+        """Reactivate every inactive link; returns their keys.
+
+        Links of still-crashed nodes come back up too — the hardware
+        heals even when the software is down; packets reaching a crashed
+        NCU are dropped until it restarts.
+        """
+        healed: list[tuple[Any, Any]] = []
+        for key, link in self.links.items():
+            if not link.active:
+                self._set_link_state(*key, active=True)
+                healed.append(key)
+        return healed
 
     def schedule_link_failure(self, u: Any, v: Any, at: float) -> None:
         """Deactivate a link at a future simulated time."""

@@ -41,6 +41,7 @@ from .monitors import (
     Alert,
     Budget,
     BudgetMonitor,
+    ChurnMonitor,
     InvariantMonitor,
     Monitor,
     MonitorHost,
@@ -66,6 +67,7 @@ __all__ = [
     "Budget",
     "BudgetMonitor",
     "CampaignManifest",
+    "ChurnMonitor",
     "CongestionProbe",
     "FlightRecorder",
     "Histogram",

@@ -378,6 +378,46 @@ def _bench_substrate_reuse() -> tuple[dict[str, float], RunManifest]:
     return metrics, manifest
 
 
+def _bench_churn_recovery() -> tuple[dict[str, float], RunManifest]:
+    """Churn scenario: partition, crash, heal, restart, re-elect.
+
+    Runs the canonical seeded churn story on a 6×6 grid under pinned
+    worst-case delays with a :class:`ChurnMonitor` riding along.  Every
+    metric is deterministic — system calls, tour/return calls, drops,
+    final time, and the monitor's violation count (gated at exactly
+    zero) — so the benchmark pins both the cost *and* the correctness
+    of recovery from heavy churn.
+    """
+    from ..scenario import churn_scenario, run_scenario
+    from ..network.builder import from_spec
+    from ..sim import FixedDelays
+
+    topology = "grid:6,6"
+    spec = churn_scenario(topology, seed=11, C=0.0, P=1.0, crashes=2)
+    net = from_spec(topology, delays=FixedDelays(0.0, 1.0))
+    holder: dict[str, Any] = {}
+
+    def drive() -> None:
+        holder["row"] = run_scenario(net, spec)
+
+    metrics = _timed(net, drive)
+    row = holder["row"]
+    metrics["tour_return_calls"] = float(row["tour_return_calls"])
+    metrics["drops"] = float(row["drops"])
+    metrics["leaders"] = float(len(row["leaders"]))
+    metrics["violations"] = float(row["violations"])
+    manifest = RunManifest.collect(
+        net,
+        command="bench:churn_recovery",
+        topology=topology,
+        C=0.0,
+        P=1.0,
+        scenario=spec.name,
+        events=len(spec.events),
+    )
+    return metrics, manifest
+
+
 #: The registry `repro bench` runs, in execution order.
 BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("broadcast_grid", "bpaths broadcast, grid:8,8 (Thm 2 counters)",
@@ -395,6 +435,9 @@ BENCHMARKS: tuple[Benchmark, ...] = (
               _bench_congested_forwarding),
     Benchmark("substrate_reuse", "200-seed Monte-Carlo, pooled reset vs rebuild",
               _bench_substrate_reuse),
+    Benchmark("churn_recovery",
+              "partition/crash/heal/restart churn scenario, grid:6,6",
+              _bench_churn_recovery),
 )
 
 _BY_NAME = {bench.name: bench for bench in BENCHMARKS}

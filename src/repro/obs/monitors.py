@@ -55,7 +55,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..sim.events import Event
 
 #: The monitor names the CLI's ``--monitor`` flag accepts.
-MONITOR_NAMES = ("budgets", "invariants", "watchdog", "netcalc")
+MONITOR_NAMES = ("budgets", "invariants", "watchdog", "netcalc", "churn")
 
 
 @dataclass(frozen=True)
@@ -392,6 +392,27 @@ class ProgressWatchdog(Monitor):
         self._stall_armed = True
         self._deadline_armed = deadline is not None
         self._queue_armed = queue_limit is not None
+        self._partition_cache: tuple[int, bool] | None = None
+        self._partition_noted = False
+
+    def _partitioned(self) -> bool:
+        """Whether the active topology is disconnected (memoised).
+
+        Keyed on the topology version, so after the first computation a
+        stalled-but-stable network pays one tuple compare per event that
+        reaches the stall threshold.
+        """
+        import networkx as nx
+
+        net = self.net
+        version = net._topology_version
+        cached = self._partition_cache
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        g = net.active_graph()
+        partitioned = g.number_of_nodes() > 1 and not nx.is_connected(g)
+        self._partition_cache = (version, partitioned)
+        return partitioned
 
     def check(self, event: "Event") -> Iterable[Alert]:
         alerts: list[Alert] = []
@@ -401,6 +422,7 @@ class ProgressWatchdog(Monitor):
             self._last = current
             self._stalled = 0
             self._stall_armed = True
+            self._partition_noted = False
         else:
             self._stalled += 1
             if (
@@ -408,21 +430,45 @@ class ProgressWatchdog(Monitor):
                 and self._stalled >= self.stall_events
                 and scheduler.pending_live > 0
             ):
-                self._stall_armed = False
-                alerts.append(
-                    Alert(
-                        time=scheduler.now,
-                        monitor=self.name,
-                        severity="warning",
-                        message=(
-                            f"no progress for {self._stalled} events with "
-                            f"{scheduler.pending_live} live events queued"
-                        ),
-                        measure="stalled events",
-                        observed=float(self._stalled),
-                        bound=float(self.stall_events),
+                if self._partitioned():
+                    # A partitioned network legitimately idles (e.g. a
+                    # retry timer waiting out the cut): no stall alert.
+                    # One informational annotation per partition episode
+                    # keeps the condition visible in the alert stream.
+                    if not self._partition_noted:
+                        self._partition_noted = True
+                        alerts.append(
+                            Alert(
+                                time=scheduler.now,
+                                monitor=self.name,
+                                severity="info",
+                                message=(
+                                    f"no progress for {self._stalled} events, "
+                                    "but the network is partitioned — stall "
+                                    "alert suppressed until it reconnects"
+                                ),
+                                measure="stalled events",
+                                observed=float(self._stalled),
+                                bound=float(self.stall_events),
+                            )
+                        )
+                else:
+                    self._partition_noted = False
+                    self._stall_armed = False
+                    alerts.append(
+                        Alert(
+                            time=scheduler.now,
+                            monitor=self.name,
+                            severity="warning",
+                            message=(
+                                f"no progress for {self._stalled} events with "
+                                f"{scheduler.pending_live} live events queued"
+                            ),
+                            measure="stalled events",
+                            observed=float(self._stalled),
+                            bound=float(self.stall_events),
+                        )
                     )
-                )
         if self._deadline_armed and scheduler.now > self.deadline:
             if scheduler.pending_live > 0:
                 self._deadline_armed = False
@@ -667,6 +713,148 @@ class NetCalcMonitor(Monitor):
 
 
 # ----------------------------------------------------------------------
+# Churn conformance
+# ----------------------------------------------------------------------
+class ChurnMonitor(Monitor):
+    """Assert the §3/§4 invariants survive crashes, partitions and heals.
+
+    Live checks (every ``every`` events, over all nodes):
+
+    * **crash freeze** — a crashed NCU must not execute system calls:
+      its per-node call count is baselined at the first crashed
+      observation and a later change is a violation (reported once per
+      crash, then re-baselined to avoid alert spam);
+    * **crash hygiene** — a crashed NCU must hold no queued or
+      in-service jobs (state loss means the queue died with the node).
+
+    End-of-run checks (:meth:`finish`):
+
+    * the scheduler must be quiescent (live events left over mean the
+      scenario never converged);
+    * with ``expect_leaders=True``, every connected component of the
+      active topology must contain **exactly one** up node reporting
+      ``is_leader`` — the per-component uniqueness that makes one
+      coordinator per side legitimate while partitioned and forces
+      re-convergence to a single leader after a heal.
+    """
+
+    name = "churn"
+
+    def __init__(
+        self, net: "Network", *, every: int = 64, expect_leaders: bool = True
+    ) -> None:
+        if every < 1:
+            raise ValueError("check cadence must be >= 1")
+        self.net = net
+        self.every = every
+        self.expect_leaders = expect_leaders
+        self._count = 0
+        #: node_id -> system-call count when first seen crashed.
+        self._frozen: dict[Any, int] = {}
+
+    def check(self, event: "Event") -> Iterable[Alert]:
+        self._count += 1
+        if self._count % self.every:
+            return ()
+        net = self.net
+        metrics = net.metrics
+        alerts: list[Alert] = []
+        for node_id, node in net.nodes.items():
+            ncu = node.ncu
+            if not ncu.crashed:
+                self._frozen.pop(node_id, None)
+                continue
+            calls = metrics.system_calls_at(node_id)
+            baseline = self._frozen.get(node_id)
+            if baseline is None:
+                self._frozen[node_id] = calls
+            elif calls != baseline:
+                self._frozen[node_id] = calls
+                alerts.append(
+                    Alert(
+                        time=net.scheduler.now,
+                        monitor=self.name,
+                        message=(
+                            f"crashed node {node_id!r} executed "
+                            f"{calls - baseline} system call(s) while down"
+                        ),
+                        measure="crash freeze",
+                        observed=float(calls),
+                        bound=float(baseline),
+                    )
+                )
+            if ncu.queued or ncu.busy:
+                alerts.append(
+                    Alert(
+                        time=net.scheduler.now,
+                        monitor=self.name,
+                        message=(
+                            f"crashed node {node_id!r} holds NCU work "
+                            f"(queued={ncu.queued}, busy={ncu.busy}); a crash "
+                            "must lose the queue"
+                        ),
+                        measure="crash hygiene",
+                        observed=float(ncu.queued + ncu.busy),
+                        bound=0.0,
+                    )
+                )
+        return alerts
+
+    def finish(self) -> Iterable[Alert]:
+        import networkx as nx
+
+        net = self.net
+        alerts: list[Alert] = []
+        pending = net.scheduler.pending_live
+        if pending > 0:
+            alerts.append(
+                Alert(
+                    time=net.scheduler.now,
+                    monitor=self.name,
+                    message=(
+                        f"scenario ended with {pending} live event(s) still "
+                        "queued; the run never converged"
+                    ),
+                    measure="quiescence",
+                    observed=float(pending),
+                    bound=0.0,
+                )
+            )
+        if not self.expect_leaders:
+            return alerts
+        leaders = net.outputs_for_key("is_leader")
+        for component in nx.connected_components(net.active_graph()):
+            up = [
+                node_id
+                for node_id in component
+                if not net.nodes[node_id].ncu.crashed
+                and net.nodes[node_id].ncu.handler is not None
+            ]
+            if not up:
+                continue
+            elected = sorted(
+                (node_id for node_id in up if leaders.get(node_id)), key=repr
+            )
+            if len(elected) != 1:
+                label = sorted(component, key=repr)
+                alerts.append(
+                    Alert(
+                        time=net.scheduler.now,
+                        monitor=self.name,
+                        message=(
+                            f"component {label!r} has {len(elected)} "
+                            f"leader(s) {elected!r}; exactly one expected "
+                            "among its up nodes"
+                        ),
+                        measure="leaders per component",
+                        observed=float(len(elected)),
+                        bound=1.0,
+                    )
+                )
+        return alerts
+
+
+# ----------------------------------------------------------------------
 # CLI plumbing
 # ----------------------------------------------------------------------
 def monitors_from_spec(
@@ -708,6 +896,12 @@ def monitors_from_spec(
             monitors.append(InvariantMonitor(net))
         elif name == "watchdog":
             monitors.append(ProgressWatchdog(net))
+        elif name == "churn":
+            monitors.append(
+                ChurnMonitor(
+                    net, expect_leaders=command in ("election", "scenario")
+                )
+            )
         elif name == "netcalc":
             monitor = NetCalcMonitor(net)
             if monitor.tracked_count:

@@ -14,26 +14,44 @@ by perturbing individual delays within bounds:
 * the tests use it to confirm, empirically, that nothing beats the
   bounds for the §3/§5 algorithms — and that the §4 bound of Theorem 5
   survives every timing tried.
+
+Every draw routes through :func:`repro.sim.seeding.derive_seed` — no
+``random`` module, no global state — so an adversarial schedule is
+reproducible from its integer seed alone, and campaign shards drawing
+from the same root seed agree bit-for-bit with a serial run.
 """
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Any, Callable
 
 from .delays import DelayModel, FixedDelays
+from .seeding import derive_seed
+
+#: 53-bit mantissa mask: ``word & _MANTISSA`` over ``2**53`` is the
+#: standard uniform-in-[0, 1) construction.
+_MANTISSA = (1 << 53) - 1
+
+
+def _component_key(target: Any) -> int | str:
+    """Coerce a delay target (link key / node ID) to a seed component."""
+    if isinstance(target, int) and not isinstance(target, bool):
+        return target
+    if isinstance(target, str):
+        return target
+    return repr(target)
 
 
 @dataclass
 class SeededAdversary(DelayModel):
     """Random per-(target, seq) delays, deterministic per seed.
 
-    Each delay is drawn as ``bound * u`` with ``u`` sampled from a
-    distribution biased toward 1 (the bound), independently per
-    (link/node, sequence) pair — so re-running the same seed reproduces
-    the exact timing, and different seeds explore genuinely different
-    schedules.
+    Each delay is drawn as ``bound * u`` with ``u`` derived from
+    ``derive_seed(seed, kind, target, seq)`` and biased toward 1 (the
+    bound) — so re-running the same seed reproduces the exact timing,
+    different seeds explore genuinely different schedules, and a draw
+    depends on nothing but the (seed, target, sequence) triple.
     """
 
     hardware: float
@@ -44,21 +62,22 @@ class SeededAdversary(DelayModel):
     def __post_init__(self) -> None:
         self.hardware_bound = self.hardware
         self.software_bound = self.software
-        self._base = random.Random(self.seed).random()
+        self._root = derive_seed(self.seed, "adversary")
 
-    def _draw(self, bound: float, key: tuple) -> float:
+    def _draw(self, bound: float, kind: str, target: Any, seq: int) -> float:
         if bound == 0.0:
             return 0.0
-        rng = random.Random((self._base, key).__repr__())
-        if rng.random() < self.bias:
+        word = derive_seed(self._root, kind, _component_key(target), seq)
+        # Top 11 bits decide pin-at-bound; low 53 bits are the uniform.
+        if (word >> 53) / 2048.0 < self.bias:
             return bound
-        return bound * rng.random()
+        return bound * ((word & _MANTISSA) / float(1 << 53))
 
     def hardware_delay(self, link_key: Any, packet_seq: int) -> float:
-        return self._draw(self.hardware, ("hw", link_key, packet_seq))
+        return self._draw(self.hardware, "hw", link_key, packet_seq)
 
     def software_delay(self, node_id: Any, job_seq: int) -> float:
-        return self._draw(self.software, ("sw", node_id, job_seq))
+        return self._draw(self.software, "sw", node_id, job_seq)
 
 
 @dataclass(frozen=True)
@@ -90,13 +109,17 @@ def random_delay_search(
     ``scenario`` builds a fresh network with the given delay model,
     runs the algorithm, and returns the objective (typically the
     completion time).  The all-at-bounds assignment is always included.
+    Trial seeds are derived from ``seed`` via ``derive_seed``; the
+    reported ``worst_seed`` is the *derived* seed, directly reusable as
+    ``SeededAdversary(C, P, seed=worst_seed, bias=bias)``.
     """
     at_bounds = scenario(FixedDelays(C, P))
     worst_value, worst_seed = at_bounds, None
     for trial in range(trials):
-        value = scenario(SeededAdversary(C, P, seed=seed + trial, bias=bias))
+        trial_seed = derive_seed(seed, "delay-search", trial)
+        value = scenario(SeededAdversary(C, P, seed=trial_seed, bias=bias))
         if value > worst_value:
-            worst_value, worst_seed = value, seed + trial
+            worst_value, worst_seed = value, trial_seed
     return SearchResult(
         worst_value=worst_value,
         worst_seed=worst_seed,

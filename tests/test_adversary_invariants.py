@@ -38,6 +38,39 @@ def test_adversary_zero_bound():
     assert a.hardware_delay(("x", "y"), 0) == 0.0
 
 
+def test_adversary_draws_are_pure_functions_of_their_coordinates():
+    # Each draw depends only on (seed, kind, target, seq) — not on call
+    # order or interleaving.  This is what lets two shards of a sharded
+    # campaign hand out identical delays without sharing any state.
+    a = SeededAdversary(hardware=2.0, software=3.0, seed=42)
+    b = SeededAdversary(hardware=2.0, software=3.0, seed=42)
+    reference = [a.hardware_delay(("u", "v"), i) for i in range(20)]
+    # b consumes draws in a scrambled order, with unrelated draws mixed
+    # in; the per-coordinate values must not shift.
+    for i in reversed(range(20)):
+        b.software_delay("noise", i)  # unrelated stream
+        assert b.hardware_delay(("u", "v"), i) == reference[i]
+
+
+def test_adversary_has_no_module_global_rng():
+    import repro.sim.adversary as adversary
+
+    assert not hasattr(adversary, "random") or not hasattr(
+        adversary.random, "random"
+    ), "adversary module must not import the random module at top level"
+
+
+def test_adversary_bias_extremes():
+    # bias=1.0 pins every draw at its bound; bias=0.0 never does
+    # (draws are strictly below the bound almost surely).
+    pinned = SeededAdversary(hardware=2.0, software=3.0, seed=5, bias=1.0)
+    free = SeededAdversary(hardware=2.0, software=3.0, seed=5, bias=0.0)
+    for i in range(30):
+        assert pinned.hardware_delay(("u", "v"), i) == 2.0
+        assert pinned.software_delay("n", i) == 3.0
+        assert free.hardware_delay(("u", "v"), i) < 2.0
+
+
 def test_no_timing_beats_bounds_for_aggregation():
     # Section 5's worst-case claim, searched empirically: no random
     # delay assignment completes later than all-delays-at-bounds.

@@ -86,3 +86,18 @@ def test_tutorial_numbers_are_accurate():
     run = run_group_multicast(fresh, 0, bodies=["status-1", "status-2"])
     assert run.setup_calls == 15
     assert run.per_message_time == [2.0, 2.0]
+
+
+def test_tutorial_scenario_numbers_are_accurate():
+    # §10 quotes the churn-grid:4,4-s7 run verbatim; keep it true.
+    from repro import FixedDelays, Network, topologies
+    from repro.scenario import churn_scenario, run_scenario
+
+    spec = churn_scenario("grid:4,4", seed=7)
+    net = Network(topologies.grid(4, 4), delays=FixedDelays(0.0, 1.0))
+    row = run_scenario(net, spec)
+    assert row["final_time"] == 1023.0
+    assert row["system_calls"] == 243
+    assert row["tour_return_calls"] == 142
+    assert row["leaders"] == ["9"]
+    assert row["violations"] == 0

@@ -276,6 +276,33 @@ def test_watchdog_stall_warning_rearms_on_progress():
     assert host.violations == []  # warnings are not violations
 
 
+def test_watchdog_suppresses_stall_while_partitioned():
+    # Regression: a fully partitioned network legitimately idles while
+    # timers wait out the cut; the stall detector must not cry wolf.
+    net = limiting(topologies.line(2))
+    watchdog = ProgressWatchdog(net, stall_events=3)
+    host = MonitorHost(net, [watchdog]).install()
+    net.partition([[0], [1]])
+    for i in range(8):  # no-progress events while cut
+        net.scheduler.schedule(float(i + 1), lambda: None)
+    net.scheduler.schedule(100.0, lambda: None)  # keeps pending_live > 0
+    net.scheduler.run(until=10.0)
+    stall = [a for a in host.alerts if a.measure == "stalled events"]
+    # Suppressed: one informational annotation, zero warnings.
+    assert [a.severity for a in stall] == ["info"]
+
+    # After the heal the detector is live again: the very next
+    # over-threshold no-progress event raises the usual warning.
+    net.heal()
+    for i in range(4):
+        net.scheduler.schedule(20.0 + i, lambda: None)
+    net.scheduler.run(until=30.0)
+    alerts = host.finish()
+    stall = [a for a in alerts if a.measure == "stalled events"]
+    assert [a.severity for a in stall] == ["info", "warning"]
+    assert host.violations == []  # neither info nor warning is a violation
+
+
 def test_watchdog_quiet_on_real_run():
     net = limiting(topologies.grid(3, 3))
     host = MonitorHost(net, [ProgressWatchdog(net, deadline=50.0)]).install()
@@ -296,7 +323,9 @@ def test_watchdog_quiet_on_real_run():
 def test_monitors_from_spec_selects_and_rejects():
     net = limiting(topologies.ring(8))
     monitors, notes = monitors_from_spec(net, "all", command="election")
-    assert {m.name for m in monitors} == {"budgets", "invariants", "watchdog"}
+    assert {m.name for m in monitors} == {
+        "budgets", "invariants", "watchdog", "churn"
+    }
     assert notes == []
     monitors, notes = monitors_from_spec(net, "budgets", command="multicast")
     assert monitors == [] and len(notes) == 1  # no closed form for multicast
