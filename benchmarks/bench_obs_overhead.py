@@ -55,6 +55,7 @@ class SeedScheduler:
     def __init__(self) -> None:
         self._queue: list[Event] = []
         self._now = 0.0
+        self._seq = 0
         self._events_processed = 0
         self._running = False
 
@@ -63,7 +64,11 @@ class SeedScheduler:
         return self._now
 
     def schedule(self, delay, action, *, priority=0, tag=""):
-        event = Event(time=self._now + delay, priority=priority,
+        # The seq counter keeps FIFO order among equal (time, priority)
+        # events, as the seed's module-global event counter did.
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event(time=self._now + delay, priority=priority, seq=seq,
                       action=action, tag=tag)
         heapq.heappush(self._queue, event)
         return event
@@ -173,8 +178,9 @@ def test_disabled_hooks_within_noise_of_seed_loop(capsys):
 # E16b — dormant perf counters on the forwarding hot path
 # ----------------------------------------------------------------------
 # PR 6 added perf-counter hooks (``perf = x.perf; if perf is not None``)
-# to four hot functions: Scheduler.schedule/schedule_at (push count),
-# Scheduler.run (pop count + wall timer) and SwitchingSubsystem._forward
+# to the hot functions: Scheduler._push (push count — the shared enqueue
+# fast path behind schedule/schedule_at), Scheduler.run (pop count +
+# wall timer + cancelled-drop count) and SwitchingSubsystem._forward
 # (hop count), plus a timed region in NCU._complete.  The replicas below
 # are those functions with exactly the perf lines removed — the same
 # methodology as SeedScheduler above, applied per-function so the gate
@@ -187,30 +193,7 @@ FWD_PACKETS = 200
 FWD_REPEATS = 7
 
 
-def _schedule_noperf(self, delay, action, *, priority=0, tag="", args=()):
-    if delay < 0:
-        raise SimulationError(f"cannot schedule into the past (delay={delay})")
-    time = self._now + delay
-    seq = self._seq
-    self._seq = seq + 1
-    event = Event.__new__(Event)
-    event.time = time
-    event.priority = priority
-    event.seq = seq
-    event.action = action
-    event.args = args
-    event.tag = tag
-    event.cancelled = False
-    event.on_cancel = self._note_cancelled_cb
-    heapq.heappush(self._queue, (time, priority, seq, event))
-    return event
-
-
-def _schedule_at_noperf(self, time, action, *, priority=0, tag="", args=()):
-    if time < self._now:
-        raise SimulationError(
-            f"cannot schedule at {time}, current time is {self._now}"
-        )
+def _push_noperf(self, time, action, priority, tag, args):
     seq = self._seq
     self._seq = seq + 1
     event = Event.__new__(Event)
@@ -312,15 +295,15 @@ def _forward_noperf(self, packet, port):
             link=link.key,
             to=other_id,
         )
-    net.scheduler.schedule_at(
-        arrival, deliver, priority=0, tag="hop", args=(packet, link)
-    )
+    net.scheduler.schedule_at(arrival, deliver, 0, "hop", (packet, link))
 
 
 def _complete_noperf(self, job):
     net = self._node.net
     assert self.handler is not None
-    self.ports_used_this_call = set()
+    ports = self._ports_scratch
+    ports.clear()
+    self.ports_used_this_call = ports
     try:
         self.handler(self._node.api, job)
     finally:
@@ -344,8 +327,7 @@ def _complete_noperf(self, job):
 
 
 _STRIPPED = (
-    (Scheduler, "schedule", _schedule_noperf),
-    (Scheduler, "schedule_at", _schedule_at_noperf),
+    (Scheduler, "_push", _push_noperf),
     (Scheduler, "run", _run_noperf),
     (SwitchingSubsystem, "_forward", _forward_noperf),
     (NCU, "_complete", _complete_noperf),

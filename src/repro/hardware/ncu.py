@@ -19,7 +19,7 @@ exploits.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from enum import Enum
 from time import perf_counter as _perf_counter
 from typing import TYPE_CHECKING, Any, Callable
@@ -66,6 +66,10 @@ class Job:
     payload: Any = None
     tag: str = ""
     enqueued_at: float = 0.0
+    #: Cached :attr:`accounting_kind`.  The hot constructors
+    #: (:meth:`NodeApi._timer_fire`, :meth:`NCU.enqueue_packet`) prefill
+    #: it, so serving a steady-state job never walks the payload.
+    akind: str | None = field(default=None, compare=False)
 
     @property
     def accounting_kind(self) -> str:
@@ -73,13 +77,20 @@ class Job:
 
         Packet jobs use the payload's ``kind`` attribute when present so
         protocols get per-message-type system-call counts for free.
+        Computed at most once per job (cached in :attr:`akind`).
         """
+        label = self.akind
+        if label is not None:
+            return label
         if self.kind is JobKind.PACKET:
             payload = self.payload.payload if isinstance(self.payload, Packet) else None
-            return getattr(payload, "kind", JobKind.PACKET.value)
-        if self.kind is JobKind.TIMER and self.tag:
-            return _timer_label(self.tag)
-        return self.kind.value
+            label = getattr(payload, "kind", JobKind.PACKET.value)
+        elif self.kind is JobKind.TIMER and self.tag:
+            label = _timer_label(self.tag)
+        else:
+            label = self.kind.value
+        self.akind = label
+        return label
 
 
 class NodeApi:
@@ -161,24 +172,36 @@ class NodeApi:
         Returns the underlying event; cancelling it prevents the job
         from being enqueued (an already-enqueued job cannot be recalled).
         """
-        return self._node.net.scheduler.schedule(
+        node = self._node
+        return node.net.scheduler.schedule(
             delay,
             self._timer_fire,
-            priority=2,
-            tag=_timer_label(tag),
-            args=(tag, payload, self._node.ncu.incarnation),
+            2,
+            _timer_label(tag),
+            (tag, payload, node.ncu.incarnation),
         )
 
     def _timer_fire(self, tag: str, payload: Any, incarnation: int = 0) -> None:
         node = self._node
-        if node.ncu.incarnation != incarnation:
+        ncu = node.ncu
+        if ncu.incarnation != incarnation:
             # Set before a crash; the restarted software never armed it.
             return
         net = node.net
+        now = net.scheduler.now
         trace = net.trace
         if trace.enabled:
-            trace.record(net.scheduler.now, TraceKind.TIMER_FIRED, node.node_id, tag=tag)
-        node.ncu.enqueue(Job(JobKind.TIMER, payload, tag, net.scheduler.now))
+            trace.record(now, TraceKind.TIMER_FIRED, node.node_id, tag=tag)
+        # Hand-rolled Job with the accounting label prefilled: this is
+        # the hottest job constructor (every timer tick) and the
+        # generated dataclass __init__ is measurable at that volume.
+        job = Job.__new__(Job)
+        job.kind = JobKind.TIMER
+        job.payload = payload
+        job.tag = tag
+        job.enqueued_at = now
+        job.akind = _timer_label(tag) if tag else "timer"
+        ncu.enqueue(job)
 
     def report(self, key: str, value: Any) -> None:
         """Publish a named output (read by drivers and tests)."""
@@ -225,6 +248,11 @@ class NCU:
         #: *distinct* outgoing links at no extra cost, but pushing two
         #: packets through the same port needs two involvements.
         self.ports_used_this_call: set[int] | None = None
+        #: Reused backing set for :attr:`ports_used_this_call`.  One
+        #: handler invocation per event at steady state means one set
+        #: allocation per event without it; handlers only ever see the
+        #: set through ``ports_used_this_call`` and never retain it.
+        self._ports_scratch: set[int] = set()
         #: High watermark of the software queue depth (jobs waiting plus
         #: the one in service), read by the congestion observability
         #: layer.  One compare per enqueue; never read on the hot path.
@@ -293,7 +321,15 @@ class NCU:
     # ------------------------------------------------------------------
     def enqueue_packet(self, packet: Packet) -> None:
         """A copy has been delivered by the SS toward this NCU."""
-        self.enqueue(Job(JobKind.PACKET, packet, "", self._node.net.scheduler.now))
+        # Hand-rolled, label prefilled — the per-delivery twin of the
+        # timer path's constructor (see ``NodeApi._timer_fire``).
+        job = Job.__new__(Job)
+        job.kind = JobKind.PACKET
+        job.payload = packet
+        job.tag = ""
+        job.enqueued_at = self._node.net.scheduler.now
+        job.akind = getattr(packet.payload, "kind", "packet")
+        self.enqueue(job)
 
     def enqueue(self, job: Job) -> None:
         """Queue one job; begins service immediately if the NCU is idle."""
@@ -306,45 +342,60 @@ class NCU:
                 f"node {self._node.node_id} received a {job.kind.value} job "
                 "but no protocol is attached"
             )
-        self._queue.append(job)
-        depth = len(self._queue) + (1 if self._busy else 0)
-        if depth > self.queue_peak:
-            self.queue_peak = depth
-        if not self._busy:
-            self._begin_next()
+        queue = self._queue
+        if self._busy or queue:
+            queue.append(job)
+            depth = len(queue) + self._busy
+            if depth > self.queue_peak:
+                self.queue_peak = depth
+            return
+        # Idle fast path: skip the append/popleft round-trip through the
+        # deque — in a quiescent-ish network this is the common case.
+        if not self.queue_peak:
+            self.queue_peak = 1
+        self._serve(job)
 
     # ------------------------------------------------------------------
     # Service
     # ------------------------------------------------------------------
     def _begin_next(self) -> None:
-        net = self._node.net
-        job = self._queue.popleft()
+        self._serve(self._queue.popleft())
+
+    def _serve(self, job: Job) -> None:
+        node = self._node
+        net = node.net
         self._busy = True
-        self._job_seq += 1
-        # ``accounting_kind`` walks the payload; compute it once per slot.
-        kind = job.accounting_kind
-        net.metrics.count_system_call(self._node.node_id, kind)
+        seq = self._job_seq + 1
+        self._job_seq = seq
+        # Usually prefilled by the hot constructors; ``accounting_kind``
+        # walks the payload at most once per job otherwise.
+        kind = job.akind
+        if kind is None:
+            kind = job.accounting_kind
+        net.metrics.count_system_call(node.node_id, kind)
         trace = net.trace
         if trace.enabled:
             trace.record(
                 net.scheduler.now,
                 TraceKind.NCU_JOB_START,
-                self._node.node_id,
+                node.node_id,
                 job=kind,
                 packet=job.payload.seq if isinstance(job.payload, Packet) else None,
             )
-        service = net.delays.software_delay(self._node.node_id, self._job_seq)
+        service = net.delays.software_delay(node.node_id, seq)
         probe = net.probe
         if probe is not None:
-            probe.ncu_job_start(self._node.node_id, kind, net.scheduler.now, service)
+            probe.ncu_job_start(node.node_id, kind, net.scheduler.now, service)
         self._service_event = net.scheduler.schedule(
-            service, self._complete_cb, priority=1, tag="ncu", args=(job,)
+            service, self._complete_cb, 1, "ncu", (job,)
         )
 
     def _complete(self, job: Job) -> None:
         net = self._node.net
         assert self.handler is not None
-        self.ports_used_this_call = set()
+        ports = self._ports_scratch
+        ports.clear()
+        self.ports_used_this_call = ports
         perf = net.perf
         t0 = _perf_counter() if perf is not None else 0.0
         try:

@@ -307,9 +307,7 @@ class SwitchingSubsystem:
                 link=link.key,
                 to=other_id,
             )
-        net.scheduler.schedule_at(
-            arrival, deliver, priority=0, tag="hop", args=(packet, link)
-        )
+        net.scheduler.schedule_at(arrival, deliver, 0, "hop", (packet, link))
 
     def _deliver(self, packet: Packet, link: Link) -> None:
         """Arrival at this side of ``link``; the scheduled hop payload.

@@ -51,6 +51,7 @@ class Network:
         trace: bool = False,
         trace_capacity: int | None = None,
         datalink_delay: float = 0.0,
+        kernel: str | None = None,
     ) -> None:
         if graph.number_of_nodes() == 0:
             raise ValueError("a network needs at least one node")
@@ -58,7 +59,11 @@ class Network:
             raise ValueError("self-loops are not supported")
 
         self.graph = nx.Graph(graph)
-        self.scheduler = Scheduler()
+        #: ``kernel`` picks the event-kernel implementation ("heap" /
+        #: "wheel"; ``None`` = the ``REPRO_KERNEL`` env default) — a
+        #: pure performance choice, never a behavioural one (the fired
+        #: event sequence is kernel-invariant).
+        self.scheduler = Scheduler(kernel=kernel)
         self.delays = delays if delays is not None else limiting_model()
         self.metrics = MetricsCollector()
         self.trace = Trace(enabled=trace, capacity=trace_capacity)
@@ -237,7 +242,9 @@ class Network:
 
         Returns ``self`` so callers can chain ``net.reset().attach(...)``.
         """
-        self.scheduler = Scheduler()
+        # Preserve the kernel choice across reset: a pooled substrate
+        # must replay on the same kernel it was built with.
+        self.scheduler = Scheduler(kernel=self.scheduler.kernel)
         self.metrics = MetricsCollector()
         self.trace = Trace(enabled=self.trace.enabled, capacity=self.trace.capacity)
         self.outputs = {}

@@ -14,6 +14,7 @@ from .bench import (
     bench_path,
     benchmark_names,
     compare_documents,
+    kernel_speedup,
     load_bench_document,
     regressions,
     render_comparison,
@@ -94,6 +95,7 @@ __all__ = [
     "compare_documents",
     "election_budgets",
     "git_revision",
+    "kernel_speedup",
     "load_bench_document",
     "makespan",
     "merge_perf_dicts",

@@ -25,6 +25,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from ..sim.kernel import default_kernel as _default_kernel
+
 if TYPE_CHECKING:  # pragma: no cover
     from ..network.network import Network
 
@@ -72,6 +74,12 @@ class RunManifest:
     #: This process's substrate-pool counters (``None`` if the pool was
     #: never used): ``{"builds": ..., "reuses": ...}``.
     substrate_pool: dict[str, int] | None = None
+    #: Event-kernel implementation the run's scheduler used ("heap" /
+    #: "wheel").  Like ``substrate_reuse``, deliberately outside spec
+    #: hashes — the fired event sequence is kernel-invariant, so the
+    #: manifest is the provenance record of which kernel produced a
+    #: (wall-clock) measurement.
+    kernel: str | None = None
     git: str | None = None
     python: str = ""
     platform: str = ""
@@ -113,6 +121,7 @@ class RunManifest:
             trace_dropped=net.trace.dropped,
             substrate_reuse=reuse_enabled(),
             substrate_pool=pool_stats(),
+            kernel=net.scheduler.kernel,
             git=git_revision(),
             python=sys.version.split()[0],
             platform=platform.platform(),
@@ -167,6 +176,9 @@ class CampaignManifest:
     #: State of the ``REPRO_SUBSTRATE_REUSE`` gate in the driver when
     #: the campaign ran (workers inherit the environment).
     substrate_reuse: bool | None = None
+    #: Event-kernel default in the driver when the campaign ran
+    #: (workers inherit it through ``REPRO_KERNEL``).
+    kernel: str | None = None
     #: Campaign-wide perf attribution: every task's
     #: :class:`~repro.obs.perf.PerfCounters` merged
     #: (:meth:`CampaignOutcome.merged_perf`); ``None`` unless the
@@ -215,6 +227,7 @@ class CampaignManifest:
             wall_ms=round(outcome.wall_ms, 3),
             tasks=tasks,
             substrate_reuse=reuse_enabled(),
+            kernel=_default_kernel(),
             perf=outcome.merged_perf(),
             git=git_revision(),
             python=sys.version.split()[0],

@@ -67,6 +67,10 @@ OCCUPANCY_BOUNDS: tuple[float, ...] = (
 COUNTER_FIELDS = (
     "sched_push",
     "sched_pop",
+    # Cancelled entries swept out of the queue without firing.  Closes
+    # the queue ledger: at any instant, for either kernel,
+    # ``sched_push == sched_pop + sched_cancelled_drops + pending``.
+    "sched_cancelled_drops",
     "ss_hops",
     "ncu_jobs",
     "trace_records",

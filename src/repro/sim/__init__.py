@@ -23,7 +23,9 @@ from .errors import (
     SimulationError,
 )
 from .events import Event
+from .kernel import KERNEL_ENV_VAR, KERNEL_NAMES, default_kernel, resolve_kernel
 from .scheduler import Scheduler
+from .wheel import WheelScheduler
 from .seeding import derive_seed, seed_sequence, splitmix64
 from .trace import Trace, TraceKind, TraceRecord
 
@@ -34,6 +36,8 @@ __all__ = [
     "random_delay_search",
     "Event",
     "FixedDelays",
+    "KERNEL_ENV_VAR",
+    "KERNEL_NAMES",
     "NotConvergedError",
     "PathTooLongError",
     "PerturbedDelays",
@@ -46,9 +50,12 @@ __all__ = [
     "Trace",
     "TraceKind",
     "TraceRecord",
+    "WheelScheduler",
+    "default_kernel",
     "derive_seed",
     "limiting_model",
     "parameterized_model",
+    "resolve_kernel",
     "seed_sequence",
     "splitmix64",
 ]

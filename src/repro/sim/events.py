@@ -11,8 +11,9 @@ The scheduler assigns ``seq`` from its **own** per-scheduler counter, so
 an event stream — and anything exported from it — never depends on how
 many simulations ran earlier in the same process (load-bearing for the
 campaign engine's byte-identity guarantees with in-process workers).
-The module-level counter below only serves hand-constructed events in
-tests and benchmarks, keeping bare ``Event(...)`` orderable.
+All event construction goes through a kernel's shared ``_push`` fast
+path; hand-constructed events (tests) default to ``seq=0`` and must
+pass an explicit ``seq`` when FIFO order among equals matters.
 
 Performance note: the scheduler's heap stores ``(time, priority, seq,
 event)`` tuples, so heap sifts compare tuples in C instead of calling
@@ -22,14 +23,8 @@ the dataclass-generated ``__lt__`` — which used to dominate heap cost.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
-
-#: Fallback insertion counter for events constructed outside a
-#: scheduler (tests, standalone benchmarks).  Scheduler-created events
-#: get their ``seq`` from the scheduler's per-instance counter instead.
-_SEQ = itertools.count()
 
 
 @dataclass(order=True, slots=True)
@@ -68,7 +63,7 @@ class Event:
 
     time: float
     priority: int = 0
-    seq: int = field(default_factory=lambda: next(_SEQ))
+    seq: int = 0
     action: Callable[..., None] = field(compare=False, default=lambda: None)
     args: tuple[Any, ...] = field(compare=False, default=())
     tag: str = field(compare=False, default="")

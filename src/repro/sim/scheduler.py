@@ -14,6 +14,15 @@ for the test suite, which asserts exact system-call counts.  The
 insertion sequence is **per scheduler**, so two networks simulated in
 the same process produce identical event streams regardless of order.
 
+Kernels
+-------
+This class is both the kernel *protocol* (see :mod:`repro.sim.kernel`)
+and its reference implementation: a binary heap of ``(time, priority,
+seq, event)`` tuples.  ``Scheduler(kernel="wheel")`` dispatches to the
+timing-wheel kernel (:class:`repro.sim.wheel.WheelScheduler`), which
+fires the identical event sequence faster when many events share
+timestamps.  ``Scheduler()`` honours the ``REPRO_KERNEL`` env default.
+
 Performance
 -----------
 The heap stores ``(time, priority, seq, event)`` tuples, not events:
@@ -32,6 +41,7 @@ from typing import Any, Callable, Iterator
 
 from .errors import SimulationError
 from .events import Event
+from .kernel import kernel_class, resolve_kernel
 
 #: Signature of a scheduler observer: called with each event just fired.
 Observer = Callable[[Event], None]
@@ -43,6 +53,9 @@ HeapEntry = tuple[float, int, int, Event]
 class Scheduler:
     """Priority-queue driven simulation loop."""
 
+    #: Kernel name this implementation registers as (subclasses override).
+    kernel: str = "heap"
+
     #: Perf-counter registry (class attribute so a process-global
     #: activation reaches every scheduler; instance installs shadow
     #: it).  The simulator never imports the observability layer — it
@@ -50,7 +63,19 @@ class Scheduler:
     #: ``is not None`` guard the observer hook uses.
     perf: Any = None
 
-    def __init__(self) -> None:
+    def __new__(cls, *, kernel: str | None = None, **kwargs: Any) -> "Scheduler":
+        # ``Scheduler(kernel=...)`` is the kernel factory; subclasses
+        # constructed directly (``WheelScheduler(span=...)``) skip
+        # dispatch, and their extra kwargs pass through to __init__.
+        if cls is Scheduler:
+            name = resolve_kernel(kernel)
+            if name != "heap":
+                cls = kernel_class(name)
+        return super().__new__(cls)
+
+    def __init__(self, *, kernel: str | None = None) -> None:
+        # ``kernel`` was consumed by __new__; accepted here so the
+        # factory signature and the subclass signature line up.
         self._queue: list[HeapEntry] = []
         self._now: float = 0.0
         self._seq: int = 0
@@ -92,6 +117,9 @@ class Scheduler:
         O(1): cancelled-but-queued events are counted as they are
         cancelled, not by scanning the heap.  This is the depth metric
         observability samples — cancelled timers must not inflate it.
+        Identical across kernels at every point in a run (it depends
+        only on schedule/fire/cancel, never on when a kernel happens to
+        sweep out cancelled entries).
         """
         return len(self._queue) - self._cancelled_pending
 
@@ -127,11 +155,43 @@ class Scheduler:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _push(
+        self,
+        time: float,
+        action: Callable[..., None],
+        priority: int,
+        tag: str,
+        args: tuple[Any, ...],
+    ) -> Event:
+        """Shared enqueue fast path (the kernel insertion primitive).
+
+        Hand-rolled construction: this is the hottest allocation in a
+        simulation, and the generated dataclass __init__ plus kwargs
+        is measurable at that volume.  Kernels override only this (plus
+        the drain side); ``schedule``/``schedule_at`` stay validation
+        shims on the base class.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.action = action
+        event.args = args
+        event.tag = tag
+        event.cancelled = False
+        event.on_cancel = self._note_cancelled_cb
+        heapq.heappush(self._queue, (time, priority, seq, event))
+        perf = self.perf
+        if perf is not None:
+            perf.sched_push += 1
+        return event
+
     def schedule(
         self,
         delay: float,
         action: Callable[..., None],
-        *,
         priority: int = 0,
         tag: str = "",
         args: tuple[Any, ...] = (),
@@ -141,35 +201,19 @@ class Scheduler:
         ``delay`` must be non-negative; zero-delay events are legal and
         fire after all events already queued for the current instant
         with the same priority (FIFO).
+
+        ``priority``/``tag``/``args`` may be passed positionally — hot
+        callers do, because a keyword call costs measurably more per
+        event than a positional one at simulation volumes.
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        time = self._now + delay
-        seq = self._seq
-        self._seq = seq + 1
-        # Hand-rolled construction: this is the hottest allocation in a
-        # simulation, and the generated dataclass __init__ plus kwargs
-        # is measurable at that volume.
-        event = Event.__new__(Event)
-        event.time = time
-        event.priority = priority
-        event.seq = seq
-        event.action = action
-        event.args = args
-        event.tag = tag
-        event.cancelled = False
-        event.on_cancel = self._note_cancelled_cb
-        heapq.heappush(self._queue, (time, priority, seq, event))
-        perf = self.perf
-        if perf is not None:
-            perf.sched_push += 1
-        return event
+        return self._push(self._now + delay, action, priority, tag, args)
 
     def schedule_at(
         self,
         time: float,
         action: Callable[..., None],
-        *,
         priority: int = 0,
         tag: str = "",
         args: tuple[Any, ...] = (),
@@ -179,22 +223,7 @@ class Scheduler:
             raise SimulationError(
                 f"cannot schedule at {time}, current time is {self._now}"
             )
-        seq = self._seq
-        self._seq = seq + 1
-        event = Event.__new__(Event)
-        event.time = time
-        event.priority = priority
-        event.seq = seq
-        event.action = action
-        event.args = args
-        event.tag = tag
-        event.cancelled = False
-        event.on_cancel = self._note_cancelled_cb
-        heapq.heappush(self._queue, (time, priority, seq, event))
-        perf = self.perf
-        if perf is not None:
-            perf.sched_push += 1
-        return event
+        return self._push(time, action, priority, tag, args)
 
     # ------------------------------------------------------------------
     # Running
@@ -239,6 +268,8 @@ class Scheduler:
                 while queue and queue[0][3].cancelled:
                     pop(queue)
                     self._cancelled_pending -= 1
+                    if perf is not None:
+                        perf.sched_cancelled_drops += 1
                 if not queue:
                     break
                 entry = queue[0]
@@ -304,6 +335,9 @@ class Scheduler:
         self._cancelled_pending += 1
 
     def _drop_cancelled(self) -> None:
+        perf = self.perf
         while self._queue and self._queue[0][3].cancelled:
             heapq.heappop(self._queue)
             self._cancelled_pending -= 1
+            if perf is not None:
+                perf.sched_cancelled_drops += 1

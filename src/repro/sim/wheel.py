@@ -1,0 +1,474 @@
+"""Timing-wheel scheduler kernel (bucketed calendar queue).
+
+Drop-in replacement for the heap kernel
+(:class:`repro.sim.scheduler.Scheduler`) that fires the **identical**
+``(time, priority, seq)`` event sequence — pinned by the golden and
+cross-kernel property suites — but is organised around the paper's
+(C, P) delay model, where almost every delay is one of a handful of
+small constants and therefore almost every event shares its firing
+timestamp with many others.
+
+Structure
+---------
+Three levels:
+
+1. **Buckets** (the wheel): ``_buckets[time]`` maps an exact firing
+   timestamp to ``[active, lanes]`` — per-priority FIFO *lanes*
+   (``{priority: [pos, events]}``) plus the ascending list of
+   priorities whose lane still has unconsumed events (one dict, one
+   hash of the float key per touch).  Insertion into an existing
+   bucket is a dict hit plus a list append — no heap sift, no entry
+   tuple.
+2. **Time index**: a small binary heap ``_times`` of the *distinct*
+   pending timestamps inside the wheel horizon.  Heap traffic is paid
+   once per distinct time, not once per event; with ``k`` events per
+   timestamp the index does ``1/k`` of the work the heap kernel does.
+3. **Overflow heap**: timestamps beyond ``now + span`` spill to
+   ``_far`` as plain ``(time, priority, seq, event)`` entries and are
+   migrated into buckets when the horizon advances past them, so
+   correctness never depends on the configured wheel span.
+
+Batched draining
+----------------
+The run loop detaches the lowest active lane wholesale (swapping a
+fresh empty lane into the wheel for concurrent pushes) and fires it
+start-to-end with *local* state — no per-event wheel bookkeeping at
+all.  The one thing that can interrupt a batch is an action scheduling
+a **lower**-priority event at the current instant (the zero-hardware-
+delay pattern of the limiting model): ``_push`` detects exactly that
+case and raises a preemption flag the batch loop checks once per fired
+event, which keeps the drain order identical to the heap's.
+
+Ordering proof sketch
+---------------------
+Lanes hold events in strictly increasing ``seq``: near pushes append in
+seq order, and a far entry at time ``t`` can never trail a near push at
+``t`` because the horizon is the only boundary between them and every
+horizon advance migrates the overflow heap *atomically* before user
+code runs again.  A detached batch holds the lowest ``(priority, seq)``
+run of the current instant; anything pushed mid-batch lands either in
+the swapped-in lane (same priority, higher seq — fired after the
+batch), in a higher-priority lane (fired after), or in a lower-priority
+lane (preempts via the flag).  On preemption or early stop the
+unfired remainder is stitched back in front of the swapped-in lane, so
+seq order within the lane is preserved.
+
+Event recycling
+---------------
+Fired and swept events are recycled through a free-list, killing the
+hottest allocation in a simulation (the list's size is naturally
+bounded by the peak number of in-flight events).  The contract (see
+``docs/PERFORMANCE.md``): an :class:`Event` handle is dead once the
+event has fired or been dropped — holders must not retain it past that
+point, because the object may be resurrected as a different event.
+Everything in-tree already obeys this (the flight recorder copies
+fields out synchronously; the NCU clears its service-event handle
+inside the completion it belongs to).  ``args`` is cleared on recycle
+so a parked event never pins packets or payloads.
+
+Kernel-invariant vs kernel-dependent introspection
+--------------------------------------------------
+``now``, ``events_processed``, ``pending_live`` and the fired event
+sequence are identical across kernels at every observable point.
+``pending`` (which includes cancelled-but-queued entries) can differ
+transiently because the kernels sweep cancelled entries at different
+moments; at quiescence the ledger ``sched_push == sched_pop +
+sched_cancelled_drops + pending`` balances for both.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from heapq import heappop, heappush
+from time import perf_counter as _perf_counter
+from typing import Any, Callable
+
+from .errors import SimulationError
+from .events import Event
+from .scheduler import Scheduler
+
+#: One overflow-heap entry, identical to the heap kernel's layout.
+FarEntry = tuple[float, int, int, Event]
+
+#: Default wheel span: how far past ``now`` a timestamp may lie and
+#: still get a bucket directly.  Purely a performance knob — beyond it
+#: events take the overflow heap and migrate in later.
+DEFAULT_SPAN = 1024.0
+
+
+class WheelScheduler(Scheduler):
+    """Calendar-queue kernel: per-timestamp buckets + overflow heap."""
+
+    kernel = "wheel"
+
+    def __init__(self, *, kernel: str | None = None, span: float = DEFAULT_SPAN) -> None:
+        super().__init__()
+        if span <= 0:
+            raise SimulationError(f"wheel span must be positive, got {span}")
+        #: time -> [active, lanes] where ``active`` is the ascending
+        #: list of priorities whose lane has unconsumed events and
+        #: ``lanes`` is {priority: [pos, [events...]]}
+        self._buckets: dict[float, list] = {}
+        #: min-heap of distinct bucket times not yet selected
+        self._times: list[float] = []
+        #: overflow heap for times beyond the horizon
+        self._far: list[FarEntry] = []
+        self._span = span
+        self._horizon = span
+        #: timestamp currently being drained (popped from ``_times``)
+        self._cur: float | None = None
+        #: priority of the lane batch being drained; with ``_preempt``
+        #: this is how ``_push`` interrupts a batch when a zero-delay
+        #: lower-priority event must fire first
+        self._cur_pri = 0
+        self._preempt = False
+        #: monotonic dequeue counters: ``_seq`` counts pushes, so
+        #: ``pending`` needs no per-event maintenance of its own
+        self._consumed = 0
+        self._dropped = 0
+        self._free: list[Event] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones).
+
+        Cancelled entries leave the queue lazily and the two kernels
+        sweep at different moments — only :attr:`pending_live` is
+        kernel-invariant mid-run.
+        """
+        return self._seq - self._consumed - self._dropped
+
+    @property
+    def pending_live(self) -> int:
+        """Number of non-cancelled events still queued (kernel-invariant)."""
+        return self._seq - self._consumed - self._dropped - self._cancelled_pending
+
+    def peek_time(self) -> float | None:
+        """Firing time of the next live event, or ``None`` if quiescent."""
+        event = self._take(False)
+        return None if event is None else event.time
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _push(
+        self,
+        time: float,
+        action: Callable[..., None],
+        priority: int,
+        tag: str,
+        args: tuple[Any, ...],
+    ) -> Event:
+        seq = self._seq
+        self._seq = seq + 1
+        free = self._free
+        if free:
+            event = free.pop()
+        else:
+            event = Event.__new__(Event)
+        event.time = time
+        event.priority = priority
+        event.seq = seq
+        event.action = action
+        event.args = args
+        event.tag = tag
+        event.cancelled = False
+        event.on_cancel = self._note_cancelled_cb
+        if time == self._cur:
+            # Current instant: the only case where a lane can be
+            # exhausted-but-reusable or a running batch preemptable.
+            bucket = self._buckets[time]
+            lane = bucket[1].get(priority)
+            if lane is None:
+                bucket[1][priority] = [0, [event]]
+                insort(bucket[0], priority)
+            else:
+                events = lane[1]
+                if lane[0] == len(events):
+                    insort(bucket[0], priority)
+                events.append(event)
+            if priority < self._cur_pri:
+                self._preempt = True
+        elif time > self._horizon:
+            heappush(self._far, (time, priority, seq, event))
+        else:
+            buckets = self._buckets
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [[priority], {priority: [0, [event]]}]
+                heappush(self._times, time)
+            else:
+                lane = bucket[1].get(priority)
+                if lane is None:
+                    bucket[1][priority] = [0, [event]]
+                    insort(bucket[0], priority)
+                else:
+                    # Lanes of non-current buckets are never exhausted
+                    # (``_reselect`` prunes them), so this is a plain
+                    # FIFO append.
+                    lane[1].append(event)
+        perf = self.perf
+        if perf is not None:
+            perf.sched_push += 1
+        return event
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _migrate(self, horizon: float) -> None:
+        """Move overflow entries now inside ``horizon`` into buckets.
+
+        Entries pop in ``(time, priority, seq)`` order, and migration
+        only ever targets buckets no near push has touched (their times
+        were beyond the *old* horizon), so lanes stay seq-sorted.
+        """
+        far = self._far
+        buckets = self._buckets
+        times = self._times
+        while far and far[0][0] <= horizon:
+            time, priority, _seq, event = heappop(far)
+            bucket = buckets.get(time)
+            if bucket is None:
+                buckets[time] = [[priority], {priority: [0, [event]]}]
+                heappush(times, time)
+            else:
+                lane = bucket[1].get(priority)
+                if lane is None:
+                    bucket[1][priority] = [0, [event]]
+                    insort(bucket[0], priority)
+                else:
+                    lane[1].append(event)
+
+    def _next_time(self) -> float | None:
+        """Select the next distinct firing time as current.
+
+        Advances the horizon and migrates the overflow heap first, so
+        the returned time is guaranteed to own a bucket.  Returns
+        ``None`` when the queue is empty.  Precondition: no current
+        bucket.
+        """
+        times = self._times
+        if times:
+            t_next = times[0]
+        elif self._far:
+            t_next = self._far[0][0]
+        else:
+            return None
+        horizon = t_next + self._span
+        if horizon > self._horizon:
+            self._horizon = horizon
+            if self._far:
+                self._migrate(horizon)
+        heappop(times)
+        self._cur = t_next
+        return t_next
+
+    def _reselect(self) -> None:
+        """Return a stale current bucket to the time index.
+
+        ``run(until=...)``, ``stop_when`` or ``peek_time`` can leave a
+        selected bucket behind; events may then legally be scheduled at
+        *earlier* times (the clock has not reached the bucket yet), so
+        selection must go back through the index.  Exhausted lanes are
+        pruned here — ``_push``'s fast path relies on lanes of
+        non-current buckets never being exhausted.  Once an event at
+        the current instant has fired no earlier push is possible, so
+        this is only needed at run/step/peek entry, off the hot path.
+        """
+        time = self._cur
+        if time is None:
+            return
+        self._cur = None
+        bucket = self._buckets[time]
+        active = bucket[0]
+        if not active:
+            del self._buckets[time]
+            return
+        lanes = bucket[1]
+        if len(lanes) != len(active):
+            for priority in [
+                p for p, lane in lanes.items() if lane[0] == len(lane[1])
+            ]:
+                del lanes[priority]
+        heappush(self._times, time)
+
+    def _recycle(self, event: Event) -> None:
+        # Clearing ``args`` keeps parked events from pinning packets
+        # or payloads; ``action`` is a long-lived bound method.
+        event.args = ()
+        self._free.append(event)
+
+    def _take(self, consume: bool) -> Event | None:
+        """Next live event, sweeping cancelled entries along the way.
+
+        With ``consume`` the event is dequeued; otherwise it stays at
+        the front.  Cold path — :meth:`run` inlines a batched version.
+        """
+        perf = self.perf
+        self._reselect()
+        while True:
+            time = self._cur
+            if time is None:
+                time = self._next_time()
+                if time is None:
+                    return None
+            bucket = self._buckets[time]
+            active = bucket[0]
+            lanes = bucket[1]
+            while active:
+                lane = lanes[active[0]]
+                pos = lane[0]
+                events = lane[1]
+                n = len(events)
+                while pos < n:
+                    event = events[pos]
+                    if event.cancelled:
+                        pos += 1
+                        lane[0] = pos
+                        self._dropped += 1
+                        self._cancelled_pending -= 1
+                        if perf is not None:
+                            perf.sched_cancelled_drops += 1
+                        self._recycle(event)
+                        continue
+                    if consume:
+                        pos += 1
+                        lane[0] = pos
+                        if pos == n:
+                            del active[0]
+                        self._consumed += 1
+                    return event
+                # Lane exhausted (entirely by cancelled sweeps).
+                del active[0]
+            del self._buckets[time]
+            self._cur = None
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        *,
+        until: float | None = None,
+        max_events: int | None = None,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> float:
+        """Drain the event queue (see the heap kernel for semantics)."""
+        if self._running:
+            raise SimulationError("scheduler is already running (re-entrant run)")
+        self._running = True
+        fired = 0
+        observers = self._observers
+        perf = self.perf
+        t_run = _perf_counter() if perf is not None else 0.0
+        buckets = self._buckets
+        free = self._free
+        stop = False
+        try:
+            self._reselect()
+            while not stop:
+                time = self._cur
+                if time is None:
+                    time = self._next_time()
+                    if time is None:
+                        break
+                if until is not None and time > until:
+                    self._now = max(self._now, until)
+                    break
+                bucket = buckets[time]
+                active = bucket[0]
+                lanes = bucket[1]
+                while active:
+                    # Detach the lowest lane wholesale and swap in a
+                    # fresh one for anything pushed mid-batch.
+                    priority = active[0]
+                    del active[0]
+                    lane = lanes[priority]
+                    pos = lane[0]
+                    lst = lane[1]
+                    lane[0] = 0
+                    lane[1] = []
+                    n = len(lst)
+                    self._cur_pri = priority
+                    self._preempt = False
+                    try:
+                        while pos < n:
+                            event = lst[pos]
+                            pos += 1
+                            if event.cancelled:
+                                self._dropped += 1
+                                self._cancelled_pending -= 1
+                                if perf is not None:
+                                    perf.sched_cancelled_drops += 1
+                                event.args = ()
+                                free.append(event)
+                                continue
+                            self._consumed += 1
+                            event.on_cancel = None
+                            self._now = time
+                            event.action(*event.args)
+                            self._events_processed += 1
+                            if perf is not None:
+                                perf.sched_pop += 1
+                            if observers:
+                                for observer in observers:
+                                    observer(event)
+                            event.args = ()
+                            free.append(event)
+                            fired += 1
+                            if max_events is not None and fired >= max_events:
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events}; "
+                                    "a protocol is probably not terminating"
+                                )
+                            if stop_when is not None and stop_when():
+                                stop = True
+                                break
+                            if self._preempt:
+                                break
+                    finally:
+                        if pos < n:
+                            # Stitch the unfired remainder back in
+                            # front of anything pushed mid-batch (the
+                            # remainder's seqs are all lower).
+                            grown = lane[1]
+                            if grown:
+                                rest = lst[pos:]
+                                rest.extend(grown)
+                                lane[1] = rest
+                            else:
+                                del lst[:pos]
+                                lane[1] = lst
+                                insort(active, priority)
+                    if stop:
+                        break
+                else:
+                    # Instant fully drained — retire the bucket.
+                    del buckets[time]
+                    self._cur = None
+        finally:
+            self._running = False
+            if perf is not None:
+                perf.sched_run_s += _perf_counter() - t_run
+        return self._now
+
+    def step(self) -> bool:
+        """Fire exactly one event.  Returns ``False`` when quiescent."""
+        event = self._take(True)
+        if event is None:
+            return False
+        event.on_cancel = None
+        self._now = event.time
+        event.action(*event.args)
+        self._events_processed += 1
+        perf = self.perf
+        if perf is not None:
+            perf.sched_pop += 1
+        if self._observers:
+            for observer in self._observers:
+                observer(event)
+        self._recycle(event)
+        return True

@@ -1,0 +1,306 @@
+"""Cross-kernel equivalence: heap and wheel fire identical sequences.
+
+The wheel kernel is a pure performance substitution — its contract is
+that for any legal use of the scheduler protocol it fires the exact
+same ``(time, priority, seq, tag)`` sequence as the heap kernel.  The
+golden suite pins that for the paper's workloads; this module attacks
+it directly with randomized schedule/cancel/run scripts and with
+targeted tests for the wheel's internal edges (overflow spill, horizon
+advance, batch preemption, stitch-back, free-list recycling).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim import (
+    KERNEL_NAMES,
+    Scheduler,
+    SimulationError,
+    WheelScheduler,
+    default_kernel,
+    resolve_kernel,
+)
+
+BOTH = pytest.mark.parametrize("kernel", KERNEL_NAMES)
+
+
+# ----------------------------------------------------------------------
+# Kernel selection
+# ----------------------------------------------------------------------
+def test_factory_dispatches_by_name():
+    assert type(Scheduler(kernel="heap")) is Scheduler
+    assert type(Scheduler(kernel="wheel")) is WheelScheduler
+    assert Scheduler(kernel="wheel").kernel == "wheel"
+
+
+def test_factory_honours_env_default(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "wheel")
+    assert default_kernel() == "wheel"
+    assert type(Scheduler()) is WheelScheduler
+    # An explicit constructor arg beats the env default.
+    assert type(Scheduler(kernel="heap")) is Scheduler
+    monkeypatch.setenv("REPRO_KERNEL", "")
+    assert type(Scheduler()) is Scheduler
+
+
+def test_unknown_kernel_rejected(monkeypatch):
+    with pytest.raises(SimulationError, match="unknown scheduler kernel"):
+        Scheduler(kernel="calendar")
+    with pytest.raises(SimulationError, match="unknown scheduler kernel"):
+        resolve_kernel("calendar")
+    monkeypatch.setenv("REPRO_KERNEL", "calendar")
+    with pytest.raises(SimulationError, match="REPRO_KERNEL"):
+        Scheduler()
+
+
+def test_wheel_span_must_be_positive():
+    with pytest.raises(SimulationError, match="span"):
+        WheelScheduler(span=0.0)
+
+
+# ----------------------------------------------------------------------
+# Randomized property: identical transcripts under adversarial scripts
+# ----------------------------------------------------------------------
+class _Script:
+    """Deterministic workload driven by a seeded RNG.
+
+    Every decision depends only on the RNG stream and kernel-invariant
+    scheduler state (``now``, ``events_processed``), so both kernels
+    execute the identical script; the observer transcript then pins the
+    fired sequence.  ``live`` tracks handles that are scheduled but not
+    yet fired or cancelled — the recycling contract makes a handle dead
+    once its event fires or is dropped, so only live handles may be
+    cancelled (exactly what correct in-tree callers do).
+    """
+
+    #: Delay mix: heavy on repeated constants (many events per bucket),
+    #: plus zero-delay and far-future values that cross DEFAULT_SPAN.
+    DELAYS = (0.0, 0.0, 0.5, 1.0, 1.0, 2.5, 7.0, 1500.0, 5000.0)
+
+    def __init__(self, sched: Scheduler, rng: random.Random) -> None:
+        self.sched = sched
+        self.rng = rng
+        self.live: dict[int, object] = {}
+        self.fired: list[tuple[float, int, int, str]] = []
+        sched.add_observer(self._observe)
+
+    def _observe(self, event) -> None:
+        self.fired.append((event.time, event.priority, event.seq, event.tag))
+        self.live.pop(id(event), None)
+
+    def _note(self, event) -> None:
+        self.live[id(event)] = event
+
+    def _leaf(self) -> None:
+        pass
+
+    def _spawner(self) -> None:
+        # Schedule from inside an action: zero-delay children at mixed
+        # priorities exercise the wheel's mid-batch push and preemption
+        # paths (a lower priority at the current instant must fire
+        # before the remainder of the running batch).
+        rng = self.rng
+        for _ in range(rng.randrange(3)):
+            delay = rng.choice((0.0, 0.0, 0.0, 1.0, 5000.0))
+            priority = rng.randrange(3)
+            self._note(
+                self.sched.schedule(delay, self._leaf, priority, f"child{priority}")
+            )
+
+    def push(self, count: int) -> None:
+        rng = self.rng
+        sched = self.sched
+        for _ in range(count):
+            delay = rng.choice(self.DELAYS)
+            priority = rng.randrange(3)
+            action = self._spawner if rng.random() < 0.3 else self._leaf
+            self._note(sched.schedule(delay, action, priority, f"t{priority}"))
+
+    def cancel_some(self, count: int) -> None:
+        rng = self.rng
+        for _ in range(count):
+            if not self.live:
+                return
+            event = rng.choice(list(self.live.values()))
+            del self.live[id(event)]
+            event.cancel()
+            event.cancel()  # double cancel must stay idempotent
+
+
+def _transcript(kernel: str, seed: int):
+    sched = Scheduler(kernel=kernel)
+    rng = random.Random(seed)
+    script = _Script(sched, rng)
+    checkpoints = []
+    for _ in range(10):
+        script.push(rng.randrange(1, 40))
+        script.cancel_some(rng.randrange(0, 6))
+        mode = rng.random()
+        if mode < 0.2:
+            for _ in range(rng.randrange(1, 8)):
+                sched.step()
+        elif mode < 0.3:
+            sched.peek_time()  # must not perturb anything
+        elif mode < 0.8:
+            sched.run(until=sched.now + rng.choice((0.0, 1.0, 3.0, 50.0, 10000.0)))
+        else:
+            budget = rng.randrange(1, 15)
+            base = sched.events_processed
+            sched.run(stop_when=lambda: sched.events_processed - base >= budget)
+        checkpoints.append(
+            (sched.now, sched.events_processed, sched.pending_live)
+        )
+    script.push(5)
+    sched.run()
+    assert sched.pending == sched.pending_live == 0
+    assert sched.peek_time() is None
+    return script.fired, checkpoints, sched.now, sched.events_processed
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_randomized_scripts_fire_identically(seed):
+    heap = _transcript("heap", seed)
+    wheel = _transcript("wheel", seed)
+    assert heap == wheel
+    times = [f[0] for f in heap[0]]
+    assert times == sorted(times)  # the clock never runs backwards
+
+
+def test_small_span_wheel_matches_default_span():
+    """Span is a pure performance knob: a pathologically small wheel
+    (constant overflow spill + horizon churn) fires the same sequence."""
+
+    def run_with(sched):
+        rng = random.Random(99)
+        script = _Script(sched, rng)
+        for _ in range(6):
+            script.push(rng.randrange(5, 30))
+            script.cancel_some(rng.randrange(0, 4))
+            sched.run(until=sched.now + rng.choice((1.0, 300.0, 8000.0)))
+        sched.run()
+        return script.fired
+
+    assert run_with(WheelScheduler(span=2.0)) == run_with(Scheduler(kernel="heap"))
+
+
+# ----------------------------------------------------------------------
+# Wheel edges: overflow heap, horizon advance, preemption, recycling
+# ----------------------------------------------------------------------
+def test_far_future_events_spill_to_overflow_heap():
+    sched = WheelScheduler(span=8.0)
+    fired = []
+    sched.schedule(1000.0, lambda: fired.append("far"))
+    sched.schedule(1.0, lambda: fired.append("near"))
+    assert len(sched._far) == 1  # beyond now + span
+    sched.run()
+    assert fired == ["near", "far"]
+    assert sched.pending == 0
+
+
+def test_horizon_advance_migrates_overflow_in_order():
+    sched = WheelScheduler(span=4.0)
+    fired = []
+    # Three generations, each beyond the horizon of the previous one;
+    # same-time events at a migrated timestamp must stay FIFO.
+    for label in ("a", "b"):
+        sched.schedule(10.0, lambda label=label: fired.append(f"g1{label}"))
+        sched.schedule(20.0, lambda label=label: fired.append(f"g2{label}"))
+        sched.schedule(30.0, lambda label=label: fired.append(f"g3{label}"))
+    assert len(sched._far) == 6
+    sched.run()
+    assert fired == ["g1a", "g1b", "g2a", "g2b", "g3a", "g3b"]
+    assert not sched._far
+
+
+def test_zero_delay_lower_priority_preempts_running_batch():
+    """The heap-order case the batch drain must not break: an action in
+    a priority-2 batch schedules a priority-0 event at the current
+    instant, which must fire before the rest of the batch."""
+    for kernel in KERNEL_NAMES:
+        sched = Scheduler(kernel=kernel)
+        fired = []
+
+        def first(sched=sched, fired=fired):
+            fired.append("first")
+            sched.schedule(0.0, lambda: fired.append("urgent"), 0, "urgent")
+
+        sched.schedule(1.0, first, 2, "first")
+        sched.schedule(1.0, lambda: fired.append("second"), 2, "second")
+        sched.run()
+        assert fired == ["first", "urgent", "second"], kernel
+
+
+def test_stop_when_mid_batch_stitches_remainder_back():
+    sched = Scheduler(kernel="wheel")
+    fired = []
+    for name in "abcde":
+        sched.schedule(1.0, lambda name=name: fired.append(name))
+    sched.run(stop_when=lambda: len(fired) >= 2)
+    assert fired == ["a", "b"]
+    # Same-instant pushes after the early stop must fire *after* the
+    # stitched-back remainder (their seqs are higher).
+    sched.schedule_at(1.0, lambda: fired.append("late"))
+    sched.run()
+    assert fired == ["a", "b", "c", "d", "e", "late"]
+
+
+def test_fired_events_are_recycled_through_free_list():
+    sched = WheelScheduler()
+    payload = ("sentinel",)
+    first = sched.schedule(1.0, lambda *a: None, 0, "one", payload)
+    sched.run()
+    # Dead handle: args cleared so parked events pin nothing.
+    assert first.args == ()
+    second = sched.schedule(2.0, lambda: None, 0, "two")
+    assert second is first  # resurrected from the free-list
+    assert second.tag == "two" and not second.cancelled
+    sched.run()
+    assert sched.events_processed == 2
+
+
+def test_cancelled_events_are_recycled_after_sweep():
+    sched = WheelScheduler()
+    doomed = sched.schedule(1.0, lambda: None, 0, "doomed")
+    doomed.cancel()
+    sched.schedule(2.0, lambda: None, 0, "kept")
+    sched.run()
+    assert sched.events_processed == 1
+    assert any(entry is doomed for entry in sched._free)
+    # The recycled handle comes back as a live, uncancelled event
+    # (free-list is LIFO; drain it down to the swept handle).
+    while True:
+        fresh = sched.schedule(1.0, lambda: None, 0, "fresh")
+        if fresh is doomed:
+            break
+    assert not fresh.cancelled and fresh.tag == "fresh"
+    sched.run()
+    assert sched.pending == 0
+
+
+def test_run_until_then_earlier_push_reenters_time_index():
+    """run(until=...) can leave a selected bucket behind; a later push
+    at an *earlier* time must still fire first (the _reselect path)."""
+    for kernel in KERNEL_NAMES:
+        sched = Scheduler(kernel=kernel)
+        fired = []
+        sched.schedule(10.0, lambda: fired.append("late"))
+        sched.run(until=5.0)
+        assert sched.now == 5.0 and fired == []
+        sched.schedule(2.0, lambda: fired.append("early"))  # t=7 < 10
+        sched.run()
+        assert fired == ["early", "late"], kernel
+
+
+@BOTH
+def test_pending_ledger_balances_at_quiescence(kernel):
+    sched = Scheduler(kernel=kernel)
+    handles = [sched.schedule(float(i % 3), lambda: None) for i in range(20)]
+    for handle in handles[::4]:
+        handle.cancel()
+    assert sched.pending_live == 15
+    sched.run()
+    assert sched.pending == sched.pending_live == 0
+    assert sched.events_processed == 15
