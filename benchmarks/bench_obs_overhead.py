@@ -302,7 +302,10 @@ def _complete_noperf(self, job):
     net = self._node.net
     assert self.handler is not None
     ports = self._ports_scratch
-    ports.clear()
+    if ports is None:
+        ports = self._ports_scratch = set()
+    else:
+        ports.clear()
     self.ports_used_this_call = ports
     try:
         self.handler(self._node.api, job)

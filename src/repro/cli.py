@@ -552,6 +552,7 @@ def cmd_observe(args: argparse.Namespace) -> int:
             print(render_congestion_heatmap(
                 queue_records,
                 width=args.timeline_width,
+                limit=args.heat_limit or None,
                 title=f"queue occupancy ({args.from_trace})",
             ))
         print()
@@ -622,6 +623,7 @@ def cmd_observe(args: argparse.Namespace) -> int:
         print(render_congestion_heatmap(
             probe.records(),
             width=args.timeline_width,
+            limit=args.heat_limit or None,
             title=f"queue occupancy ({args.workload} on {args.topology})",
         ))
         print()
@@ -634,6 +636,58 @@ def cmd_observe(args: argparse.Namespace) -> int:
         **_monitor_extra(host),
     )
     return code
+
+
+def cmd_topology_info(args: argparse.Namespace) -> int:
+    """Shape summary of a topology spec, without running anything."""
+    from .metrics import format_table
+    from .network.builder import graph_from_spec
+    from .network.network import Network
+    from .network.topologies import pseudo_diameter
+
+    try:
+        graph = graph_from_spec(args.spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    n = graph.number_of_nodes()
+    m = graph.number_of_edges()
+    degrees = [d for _, d in graph.degree]
+    rows: list[list[object]] = [
+        ["nodes", n],
+        ["links", m],
+        ["degree min", min(degrees, default=0)],
+        ["degree mean", f"{2 * m / n:.2f}" if n else "0"],
+        ["degree max", max(degrees, default=0)],
+    ]
+
+    try:
+        if args.exact_diameter:
+            import networkx as nx
+
+            rows.append(["diameter (exact)", nx.diameter(graph)])
+        else:
+            rows.append(["diameter (two-sweep bound)", pseudo_diameter(graph)])
+    except Exception:
+        rows.append(["diameter", "infinite (disconnected)"])
+
+    if args.build_memory:
+        from .obs.perf import PerfCounters
+
+        perf = PerfCounters()
+        # The spec's graph is private, so the substrate can adopt it;
+        # the gauge is retained construction bytes (graph excluded).
+        perf.measure_build_bytes_per_node(
+            lambda: Network(graph, trace=False, copy_graph=False), nodes=n
+        )
+        per_node = perf.build_bytes_per_node
+        rows.append(["build bytes/node", f"{per_node:,.0f}"])
+        rows.append(["build memory (est)", f"{per_node * n / 1e6:,.1f} MB"])
+
+    print(format_table(["property", "value"], rows,
+                       title=f"topology {args.spec}"))
+    return 0
 
 
 def _profiled_benchmarks(names: list, args: argparse.Namespace) -> dict:
@@ -1324,7 +1378,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sample per-link queue occupancy during the run and "
                         "render a congestion heatmap + per-link stall "
                         "summary (pairs with --link-rate/--link-buffer)")
+    p.add_argument("--heat-limit", type=int, default=40, metavar="N",
+                   help="max heatmap rows: only the N hottest link "
+                        "directions are shown, the rest are summarised "
+                        "in a footer (default %(default)s; 0 = no limit)")
     p.set_defaults(func=cmd_observe)
+
+    p = sub.add_parser(
+        "topology",
+        help="topology utilities: shape summaries without simulating",
+    )
+    tsub = p.add_subparsers(dest="topology_command", required=True)
+    tp = tsub.add_parser(
+        "info",
+        help="node/link counts, degree stats, diameter and estimated "
+             "build memory for a spec",
+    )
+    tp.add_argument("spec",
+                    help="topology spec, e.g. fat_tree:32, clos:16,8,4, "
+                         "torus:8,8,8, dragonfly:9,4,2, grid:6,8")
+    tp.add_argument("--exact-diameter", action="store_true",
+                    help="compute the exact diameter (O(n*m) BFS sweep) "
+                         "instead of the two-sweep pseudo-diameter bound")
+    tp.add_argument("--build-memory", action=argparse.BooleanOptionalAction,
+                    default=True,
+                    help="also build the substrate once under tracemalloc "
+                         "and report retained bytes per node")
+    tp.set_defaults(func=cmd_topology_info)
 
     p = sub.add_parser(
         "bench",

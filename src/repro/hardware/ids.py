@@ -21,6 +21,7 @@ measuring header lengths in bits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 #: The predefined normal ID of the link leading to the NCU in every SS.
 NCU_ID = 0
@@ -74,17 +75,22 @@ class LinkIdSpace:
 
     capacity: int
 
-    @property
+    # Cached, not recomputed per access: one LinkIdSpace is shared by
+    # every SS in the network, and ``flag`` in particular is read once
+    # per node at build time (``cached_property`` writes the instance
+    # ``__dict__`` directly, which the frozen dataclass allows).
+
+    @cached_property
     def flag(self) -> int:
         """Copy-ID bit mask."""
         return copy_flag(self.capacity)
 
-    @property
+    @cached_property
     def k(self) -> int:
         """ID width in bits."""
         return id_bits(self.capacity)
 
-    @property
+    @cached_property
     def group_base(self) -> int:
         """First ID of the multicast-group range (see :func:`group_id_base`)."""
         return group_id_base(self.capacity)

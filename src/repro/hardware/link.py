@@ -117,7 +117,30 @@ class LinkInfo:
 
 
 class Link:
-    """The mutable link object owned by the network."""
+    """The mutable link object owned by the network.
+
+    Memory layout: the per-endpoint ID pairs and the per-direction FIFO
+    watermarks are scalar slots, not dicts — at 10⁴–10⁵ links the two
+    dicts the old layout carried per link dominated per-link memory.
+    Endpoint dispatch is two equality compares instead of a dict lookup,
+    which is also faster on the ``fifo_arrival`` hot path.
+    """
+
+    __slots__ = (
+        "node_u",
+        "node_v",
+        "active",
+        "key",
+        "fc",
+        "_u_id",
+        "_v_id",
+        "_normal_u",
+        "_copy_u",
+        "_normal_v",
+        "_copy_v",
+        "_arrival_u",
+        "_arrival_v",
+    )
 
     def __init__(
         self,
@@ -132,10 +155,12 @@ class Link:
     ) -> None:
         self.node_u = node_u
         self.node_v = node_v
-        self._ids = {
-            node_u.node_id: (normal_at_u, copy_at_u),
-            node_v.node_id: (normal_at_v, copy_at_v),
-        }
+        self._u_id = node_u.node_id
+        self._v_id = node_v.node_id
+        self._normal_u = normal_at_u
+        self._copy_u = copy_at_u
+        self._normal_v = normal_at_v
+        self._copy_v = copy_at_v
         self.active = True
         #: Canonical undirected identifier ``(min, max)`` of endpoints.
         #: Computed once here — the forwarding hot path reads it per hop
@@ -145,17 +170,15 @@ class Link:
         if key is None:
             a, b = node_u.node_id, node_v.node_id
             key = (a, b) if repr(a) <= repr(b) else (b, a)
-        self.key: tuple[Any, Any] = key
+        self.key = key
         #: Per-direction FIFO watermark: latest arrival time already
-        #: promised on this link, keyed by the *sending* node id.
-        self._last_arrival: dict[Any, float] = {
-            node_u.node_id: 0.0,
-            node_v.node_id: 0.0,
-        }
+        #: promised on this link, one slot per *sending* endpoint.
+        self._arrival_u = 0.0
+        self._arrival_v = 0.0
         #: Flow control is off by default (``None``) so the free-hardware
         #: model — and every golden trace — is untouched.  When enabled,
         #: maps sending node id -> :class:`LinkFlowState`.
-        self.fc: dict[Any, LinkFlowState] | None = None
+        self.fc = None
 
     # ------------------------------------------------------------------
     # Topology helpers
@@ -170,22 +193,35 @@ class Link:
 
     def ids_at(self, node_id: Any) -> tuple[int, int]:
         """``(normal, copy)`` IDs of this link at the given endpoint."""
-        return self._ids[node_id]
+        if node_id == self._u_id:
+            return (self._normal_u, self._copy_u)
+        if node_id == self._v_id:
+            return (self._normal_v, self._copy_v)
+        raise KeyError(f"node {node_id} is not an endpoint of link {self.key}")
 
     def info_at(self, node_id: Any) -> LinkInfo:
         """The :class:`LinkInfo` snapshot as seen from ``node_id``."""
-        other = self.other(node_id)
-        normal_u, copy_u = self._ids[node_id]
-        normal_v, copy_v = self._ids[other.node_id]
-        return LinkInfo(
-            u=node_id,
-            v=other.node_id,
-            normal_at_u=normal_u,
-            copy_at_u=copy_u,
-            normal_at_v=normal_v,
-            copy_at_v=copy_v,
-            active=self.active,
-        )
+        if node_id == self._u_id:
+            return LinkInfo(
+                u=self._u_id,
+                v=self._v_id,
+                normal_at_u=self._normal_u,
+                copy_at_u=self._copy_u,
+                normal_at_v=self._normal_v,
+                copy_at_v=self._copy_v,
+                active=self.active,
+            )
+        if node_id == self._v_id:
+            return LinkInfo(
+                u=self._v_id,
+                v=self._u_id,
+                normal_at_u=self._normal_v,
+                copy_at_u=self._copy_v,
+                normal_at_v=self._normal_u,
+                copy_at_v=self._copy_u,
+                active=self.active,
+            )
+        raise KeyError(f"node {node_id} is not an endpoint of link {self.key}")
 
     # ------------------------------------------------------------------
     # Substrate reuse
@@ -198,9 +234,8 @@ class Link:
         :meth:`repro.network.network.Network.reset`).
         """
         self.active = True
-        watermarks = self._last_arrival
-        for sender in watermarks:
-            watermarks[sender] = 0.0
+        self._arrival_u = 0.0
+        self._arrival_v = 0.0
         if self.fc is not None:
             for state in self.fc.values():
                 state.clear()
@@ -215,8 +250,14 @@ class Link:
         prevents a later packet overtaking an earlier one, which the
         model forbids (FIFO links, required in Section 5).
         """
-        arrival = max(proposed, self._last_arrival[sender_id])
-        self._last_arrival[sender_id] = arrival
+        if sender_id == self._u_id:
+            last = self._arrival_u
+            arrival = proposed if proposed >= last else last
+            self._arrival_u = arrival
+        else:
+            last = self._arrival_v
+            arrival = proposed if proposed >= last else last
+            self._arrival_v = arrival
         return arrival
 
     # ------------------------------------------------------------------

@@ -102,6 +102,8 @@ class NodeApi:
     the paper's model.
     """
 
+    __slots__ = ("_node",)
+
     def __init__(self, node: "Node") -> None:
         self._node = node
 
@@ -217,14 +219,35 @@ class NodeApi:
 class NCU:
     """Single-server FIFO job queue with software-delay service times."""
 
+    __slots__ = (
+        "_node",
+        "_queue",
+        "_busy",
+        "_job_seq",
+        "_complete_cb",
+        "handler",
+        "crashed",
+        "incarnation",
+        "_service_event",
+        "ports_used_this_call",
+        "_ports_scratch",
+        "queue_peak",
+    )
+
     def __init__(self, node: "Node") -> None:
         self._node = node
-        self._queue: deque[Job] = deque()
+        #: Waiting jobs.  ``None`` until the first job actually has to
+        #: wait: a deque is ~600 bytes, and at 10⁴–10⁵ nodes most NCUs
+        #: never queue (the idle fast path serves directly), so eager
+        #: allocation was one of the larger per-node build costs.
+        self._queue: deque[Job] | None = None
         self._busy = False
         self._job_seq = 0
         #: Long-lived completion callback: scheduling ``_complete`` via
         #: ``args`` avoids binding a fresh closure per service slot.
-        self._complete_cb = self._complete
+        #: Bound lazily on first service — a bound method per node is
+        #: pure build overhead for nodes that never run a job.
+        self._complete_cb: Callable[[Job], None] | None = None
         #: Set by the network when a protocol is attached.
         self.handler: Callable[[NodeApi, Job], None] | None = None
         #: Whether this NCU is down after a :meth:`crash` (churn
@@ -252,7 +275,8 @@ class NCU:
         #: handler invocation per event at steady state means one set
         #: allocation per event without it; handlers only ever see the
         #: set through ``ports_used_this_call`` and never retain it.
-        self._ports_scratch: set[int] = set()
+        #: ``None`` until the first handler invocation (build thrift).
+        self._ports_scratch: set[int] | None = None
         #: High watermark of the software queue depth (jobs waiting plus
         #: the one in service), read by the congestion observability
         #: layer.  One compare per enqueue; never read on the hot path.
@@ -266,7 +290,7 @@ class NCU:
         as a freshly built one.  Part of the substrate-reuse contract
         (see :meth:`repro.network.network.Network.reset`).
         """
-        self._queue.clear()
+        self._queue = None
         self._busy = False
         self._job_seq = 0
         self.handler = None
@@ -288,7 +312,7 @@ class NCU:
         if self._service_event is not None:
             self._service_event.cancel()
             self._service_event = None
-        self._queue.clear()
+        self._queue = None
         self._busy = False
         self._job_seq = 0
         self.handler = None
@@ -314,7 +338,8 @@ class NCU:
     @property
     def queued(self) -> int:
         """Jobs waiting behind the one in service."""
-        return len(self._queue)
+        queue = self._queue
+        return len(queue) if queue is not None else 0
 
     # ------------------------------------------------------------------
     # Enqueueing
@@ -344,6 +369,8 @@ class NCU:
             )
         queue = self._queue
         if self._busy or queue:
+            if queue is None:
+                queue = self._queue = deque()
             queue.append(job)
             depth = len(queue) + self._busy
             if depth > self.queue_peak:
@@ -386,15 +413,21 @@ class NCU:
         probe = net.probe
         if probe is not None:
             probe.ncu_job_start(node.node_id, kind, net.scheduler.now, service)
+        complete_cb = self._complete_cb
+        if complete_cb is None:
+            complete_cb = self._complete_cb = self._complete
         self._service_event = net.scheduler.schedule(
-            service, self._complete_cb, 1, "ncu", (job,)
+            service, complete_cb, 1, "ncu", (job,)
         )
 
     def _complete(self, job: Job) -> None:
         net = self._node.net
         assert self.handler is not None
         ports = self._ports_scratch
-        ports.clear()
+        if ports is None:
+            ports = self._ports_scratch = set()
+        else:
+            ports.clear()
         self.ports_used_this_call = ports
         perf = net.perf
         t0 = _perf_counter() if perf is not None else 0.0

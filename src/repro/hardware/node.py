@@ -25,6 +25,8 @@ class Node:
     path-length restriction of Section 2 is enforced.
     """
 
+    __slots__ = ("node_id", "net", "ss", "ncu", "api", "links", "protocol")
+
     def __init__(self, node_id: Any, net: "Network", id_space: LinkIdSpace) -> None:
         self.node_id = node_id
         self.net = net

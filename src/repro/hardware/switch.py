@@ -52,8 +52,26 @@ if TYPE_CHECKING:  # pragma: no cover
 Port = tuple[Link, object, int, "object"]
 
 
+#: Shared empty multicast-group table.  Almost no node ever installs a
+#: group, so a per-SS empty dict is pure waste at 10⁴–10⁵ nodes; the
+#: hot path's ``next_id in self._groups`` works identically on the
+#: shared sentinel, and :meth:`SwitchingSubsystem.install_group` swaps
+#: in a private dict on first use (copy-on-write).
+_NO_GROUPS: dict[int, tuple[tuple[Link, ...], bool]] = {}
+
+
 class SwitchingSubsystem:
     """Per-node hardware switch with the paper's ID-set semantics."""
+
+    __slots__ = (
+        "_node",
+        "_id_space",
+        "_port_by_id",
+        "_port_by_link",
+        "_copy_flag",
+        "_groups",
+        "_deliver_cb",
+    )
 
     def __init__(self, node: "Node", id_space: LinkIdSpace) -> None:
         self._node = node
@@ -61,13 +79,23 @@ class SwitchingSubsystem:
         #: Both the normal and the copy ID of a link map to its port.
         self._port_by_id: dict[int, Port] = {}
         #: Link object -> port, for multicast groups (links hash by id).
-        self._port_by_link: dict[Link, Port] = {}
-        #: IDs that also match the NCU link (all copy IDs).
-        self._ncu_copy_ids: set[int] = set()
+        #: Lazily derived from ``_port_by_id`` on first group use — the
+        #: overwhelming majority of SSs never install a group, and a
+        #: per-SS dict is hundreds of bytes per node at fabric scale.
+        self._port_by_link: dict[Link, Port] | None = None
+        #: The copy-ID bit, cached as a plain int: ``id & _copy_flag``
+        #: on a known port ID decides NCU delivery, replacing the old
+        #: per-SS set of copy IDs (one more per-node container gone).
+        self._copy_flag = id_space.flag
         #: Installed multicast groups: id -> (member links, copy to NCU).
-        #: Part of the "more powerful hardware" extension; empty unless
-        #: software installs groups (see ``install_group``).
-        self._groups: dict[int, tuple[tuple[Link, ...], bool]] = {}
+        #: Part of the "more powerful hardware" extension; the shared
+        #: empty sentinel until software installs one (``install_group``).
+        self._groups = _NO_GROUPS
+        #: The one bound ``_deliver`` every neighbouring port entry
+        #: shares.  Binding it per port (``other.ss._deliver``) allocated
+        #: one method object per link direction — measurable memory and
+        #: build time at fabric scale.
+        self._deliver_cb = self._deliver
 
     @property
     def id_space(self) -> LinkIdSpace:
@@ -84,11 +112,10 @@ class SwitchingSubsystem:
                 )
         other = link.other(self._node.node_id)
         receiving_normal, _ = link.ids_at(other.node_id)
-        port: Port = (link, other.node_id, receiving_normal, other.ss._deliver)
+        port: Port = (link, other.node_id, receiving_normal, other.ss._deliver_cb)
         self._port_by_id[normal] = port
         self._port_by_id[copy] = port
-        self._port_by_link[link] = port
-        self._ncu_copy_ids.add(copy)
+        self._port_by_link = None
 
     def build_ports(self) -> None:
         """Bulk-(re)build the port table from the node's registered links.
@@ -101,20 +128,33 @@ class SwitchingSubsystem:
         """
         me = self._node.node_id
         port_by_id: dict[int, Port] = {}
-        port_by_link: dict[Link, Port] = {}
-        ncu_copy_ids: set[int] = set()
         for link in self._node.links.values():
-            normal, copy = link._ids[me]
-            other = link.other(me)
-            receiving_normal = link._ids[other.node_id][0]
-            port: Port = (link, other.node_id, receiving_normal, other.ss._deliver)
+            if me == link._u_id:
+                normal, copy = link._normal_u, link._copy_u
+                other = link.node_v
+                receiving_normal = link._normal_v
+            else:
+                normal, copy = link._normal_v, link._copy_v
+                other = link.node_u
+                receiving_normal = link._normal_u
+            port: Port = (link, other.node_id, receiving_normal, other.ss._deliver_cb)
             port_by_id[normal] = port
             port_by_id[copy] = port
-            port_by_link[link] = port
-            ncu_copy_ids.add(copy)
         self._port_by_id = port_by_id
-        self._port_by_link = port_by_link
-        self._ncu_copy_ids = ncu_copy_ids
+        self._port_by_link = None
+
+    def _link_ports(self) -> dict[Link, Port]:
+        """Link -> port map, built on first use and cached.
+
+        ``_port_by_id`` holds each port twice (normal and copy ID) in
+        per-link build order; deduplicating by first occurrence yields
+        the same insertion order the eager map had.
+        """
+        ports = self._port_by_link
+        if ports is None:
+            ports = {port[0]: port for port in self._port_by_id.values()}
+            self._port_by_link = ports
+        return ports
 
     def reset(self) -> None:
         """Drop run-time hardware state (installed multicast groups).
@@ -124,7 +164,7 @@ class SwitchingSubsystem:
         substrate-reuse contract (see
         :meth:`repro.network.network.Network.reset`).
         """
-        self._groups.clear()
+        self._groups = _NO_GROUPS
 
     # ------------------------------------------------------------------
     # Multicast groups (hardware extension)
@@ -150,6 +190,8 @@ class SwitchingSubsystem:
                 f"{group_id} is not a group ID (group range starts at "
                 f"{self._id_space.group_base})"
             )
+        if self._groups is _NO_GROUPS:
+            self._groups = {}
         self._groups[group_id] = (tuple(links), to_ncu)
 
     def uninstall_group(self, group_id: int) -> None:
@@ -193,7 +235,7 @@ class SwitchingSubsystem:
             branch = packet.delivery_copy()
             branch.header = (group_id,) + remainder
             branch.header_pos = 0
-            self._forward(branch, self._port_by_link[link])
+            self._forward(branch, self._link_ports()[link])
 
     # ------------------------------------------------------------------
     # Forwarding
@@ -229,8 +271,12 @@ class SwitchingSubsystem:
             self._receive_group(packet, next_id)
             return
 
-        to_ncu = next_id == NCU_ID or next_id in self._ncu_copy_ids
         port = self._port_by_id.get(next_id)
+        # A copy ID is a known port ID with the copy bit set; testing
+        # the bit on the already-fetched port replaces the per-SS set
+        # of copy IDs (identical semantics: normal IDs never carry the
+        # bit, group IDs are never in the port table).
+        to_ncu = next_id == NCU_ID or (port is not None and next_id & self._copy_flag)
 
         if to_ncu:
             copy = packet.delivery_copy()

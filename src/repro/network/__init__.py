@@ -8,7 +8,13 @@ from .failures import (
     flapping_link,
     random_link_failures,
 )
-from .builder import from_adjacency, from_edges, from_spec
+from .builder import (
+    from_adjacency,
+    from_edge_arrays,
+    from_edges,
+    from_spec,
+    graph_from_spec,
+)
 from .network import Network
 from .protocol import Protocol, ProtocolFactory
 from .spanning import Tree, bfs_tree, tree_from_parent
@@ -19,8 +25,10 @@ __all__ = [
     "FailureSchedule",
     "Network",
     "from_adjacency",
+    "from_edge_arrays",
     "from_edges",
     "from_spec",
+    "graph_from_spec",
     "Protocol",
     "ProtocolFactory",
     "Tree",

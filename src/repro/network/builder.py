@@ -26,7 +26,29 @@ def from_edges(
     g = nx.Graph()
     g.add_nodes_from(nodes)
     g.add_edges_from(edges)
-    return Network(g, **network_kwargs)
+    return Network(g, copy_graph=False, **network_kwargs)
+
+
+def from_edge_arrays(
+    num_nodes: int,
+    edges: Iterable[tuple[int, int]],
+    **network_kwargs: Any,
+) -> Network:
+    """Bulk-build a network over nodes ``0..num_nodes-1`` from edge pairs.
+
+    The scale-out entry point: the graph is assembled in one pass from
+    the arrays and handed to :class:`Network` without the defensive
+    copy (``copy_graph=False``) — at 10⁴–10⁵ nodes the copy alone
+    costs more than the rest of construction.  The resulting network
+    is identical (including traces) to ``from_edges`` over the same
+    pairs.
+    """
+    if num_nodes < 0:
+        raise ValueError("num_nodes must be >= 0")
+    g = nx.Graph()
+    g.add_nodes_from(range(num_nodes))
+    g.add_edges_from(edges)
+    return Network(g, copy_graph=False, **network_kwargs)
 
 
 def from_adjacency(
@@ -41,7 +63,7 @@ def from_adjacency(
         g.add_node(node)
         for neighbor in neighbors:
             g.add_edge(node, neighbor)
-    return Network(g, **network_kwargs)
+    return Network(g, copy_graph=False, **network_kwargs)
 
 
 #: Named topology factories usable from specs and the CLI.  Each value
@@ -62,15 +84,22 @@ TOPOLOGY_FACTORIES = {
     "geometric": lambda n, seed=0: topologies.random_geometric_connected(
         n, 0.3, seed=seed
     ),
+    "clos": lambda leaves, spines, hosts=0: topologies.clos(leaves, spines, hosts),
+    "fat_tree": lambda k: topologies.fat_tree(k),
+    "torus": lambda *dims: topologies.torus(*dims),
+    "dragonfly": lambda groups, routers, hosts=0: topologies.dragonfly(
+        groups, routers, hosts
+    ),
 }
 
 
-def from_spec(spec: str, **network_kwargs: Any) -> Network:
-    """Build a network from a compact text spec.
+def graph_from_spec(spec: str) -> nx.Graph:
+    """The graph a compact text spec describes, without a substrate.
 
     Format: ``name:arg1,arg2`` — e.g. ``ring:64``, ``grid:6,8``,
-    ``random:128,7`` (size, seed).  The names are the keys of
-    :data:`TOPOLOGY_FACTORIES`.
+    ``fat_tree:32``, ``random:128,7`` (size, seed).  The names are the
+    keys of :data:`TOPOLOGY_FACTORIES`.  The returned graph is private
+    to the caller (the memoised generators return per-call copies).
     """
     name, _, argstr = spec.partition(":")
     name = name.strip().lower()
@@ -81,7 +110,14 @@ def from_spec(spec: str, **network_kwargs: Any) -> Network:
         )
     args = [int(a) for a in argstr.split(",") if a.strip()] if argstr else []
     try:
-        graph = TOPOLOGY_FACTORIES[name](*args)
+        return TOPOLOGY_FACTORIES[name](*args)
     except TypeError as exc:
         raise ValueError(f"bad arguments {args} for topology {name!r}") from exc
-    return Network(graph, **network_kwargs)
+
+
+def from_spec(spec: str, **network_kwargs: Any) -> Network:
+    """Build a network from a compact text spec (see
+    :func:`graph_from_spec` for the format)."""
+    # The spec's graph has no other references, so the Network can
+    # adopt it without the defensive copy.
+    return Network(graph_from_spec(spec), copy_graph=False, **network_kwargs)

@@ -13,6 +13,7 @@ tighten it to the diameter to study the restriction.
 
 from __future__ import annotations
 
+import gc
 import itertools
 from typing import Any, Iterable, Mapping
 
@@ -52,13 +53,56 @@ class Network:
         trace_capacity: int | None = None,
         datalink_delay: float = 0.0,
         kernel: str | None = None,
+        copy_graph: bool = True,
     ) -> None:
+        """Assemble the substrate from ``graph``.
+
+        ``copy_graph=False`` takes ownership of ``graph`` instead of
+        copying it — the bulk build path (:mod:`repro.network.builder`)
+        passes graphs it constructed privately, and at 10⁴–10⁵ nodes
+        the defensive ``nx.Graph(graph)`` copy is a measurable share of
+        both build time and retained memory.  Callers passing
+        ``copy_graph=False`` must not mutate the graph afterwards.
+        """
         if graph.number_of_nodes() == 0:
             raise ValueError("a network needs at least one node")
-        if any(u == v for u, v in graph.edges):
-            raise ValueError("self-loops are not supported")
 
-        self.graph = nx.Graph(graph)
+        # Pause the cyclic GC for the whole build (restored in the
+        # ``finally`` below).  Construction allocates O(n + m) objects
+        # that are all retained, so collections triggered mid-build can
+        # never free anything — they only scan and promote, and at
+        # 10⁴–10⁵ nodes those pauses dominate the build itself.  The
+        # standard bulk-load idiom; prior GC state is preserved.
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            self._build(
+                graph,
+                delays=delays,
+                dmax=dmax,
+                trace=trace,
+                trace_capacity=trace_capacity,
+                datalink_delay=datalink_delay,
+                kernel=kernel,
+                copy_graph=copy_graph,
+            )
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _build(
+        self,
+        graph: nx.Graph,
+        *,
+        delays: DelayModel | None,
+        dmax: int | None,
+        trace: bool,
+        trace_capacity: int | None,
+        datalink_delay: float,
+        kernel: str | None,
+        copy_graph: bool,
+    ) -> None:
+        self.graph = nx.Graph(graph) if copy_graph else graph
         #: ``kernel`` picks the event-kernel implementation ("heap" /
         #: "wheel"; ``None`` = the ``REPRO_KERNEL`` env default) — a
         #: pure performance choice, never a behavioural one (the fired
@@ -93,38 +137,86 @@ class Network:
         id_space = LinkIdSpace(capacity=max(max_degree, 1))
         self.id_space = id_space
 
+        # One fused pass over nodes and edges.  Everything below is the
+        # same construction the incremental path (``add_link`` +
+        # ``build_ports``) performs — same repr-sorted orders, same ID
+        # assignment, same dict insertion orders, hence byte-identical
+        # golden traces — with the per-edge method calls inlined and the
+        # port tables filled as the links are created instead of in a
+        # second sweep.  At 10⁴–10⁵ nodes the call overhead was the
+        # build-time wall (see docs/PERFORMANCE.md § Construction at
+        # scale).
+        #
         # The repr of every node is needed many times below (node order,
         # edge order, link keys); compute each exactly once.
-        reprs = {node_id: repr(node_id) for node_id in self.graph.nodes}
+        graph_nodes = self.graph.nodes
+        reprs = dict(zip(graph_nodes, map(repr, graph_nodes)))
         self.nodes: dict[Any, Node] = {
             node_id: Node(node_id, self, id_space)
             for node_id in sorted(reprs, key=reprs.__getitem__)
         }
         self.links: dict[tuple[Any, Any], Link] = {}
-        link_index: dict[Any, int] = {node_id: 0 for node_id in self.nodes}
+        links = self.links
+        nodes = self.nodes
+        link_index: dict[Any, int] = dict.fromkeys(nodes, 0)
         flag = id_space.flag
-        for u, v in sorted(
-            self.graph.edges, key=lambda e: (reprs[e[0]], reprs[e[1]])
-        ):
+        link_new = Link.__new__
+        # Decorate-sort-undecorate beats ``sorted(key=...)`` here: the
+        # list comp builds the sort keys at comprehension speed instead
+        # of one lambda frame per edge, and the unique index tie-break
+        # reproduces the stable keyed sort exactly without ever
+        # comparing node objects.
+        edge_list = list(self.graph.edges)
+        decorated = [
+            (reprs[u], reprs[v], i) for i, (u, v) in enumerate(edge_list)
+        ]
+        decorated.sort()
+        for repr_u, repr_v, i in decorated:
+            u, v = edge_list[i]
+            if u == v:
+                raise ValueError("self-loops are not supported")
             iu, iv = link_index[u], link_index[v]
             link_index[u] = iu + 1
             link_index[v] = iv + 1
-            normal_u = id_space.normal_id(iu)
-            normal_v = id_space.normal_id(iv)
-            link = Link(
-                self.nodes[u],
-                self.nodes[v],
-                normal_at_u=normal_u,
-                copy_at_u=flag | normal_u,
-                normal_at_v=normal_v,
-                copy_at_v=flag | normal_v,
-                key=(u, v) if reprs[u] <= reprs[v] else (v, u),
-            )
-            self.nodes[u].add_link(link, build_ports=False)
-            self.nodes[v].add_link(link, build_ports=False)
-            self.links[link.key] = link
-        for node in self.nodes.values():
-            node.ss.build_ports()
+            # Normal ID = local index + 1 (0 is the NCU); the range
+            # check in ``LinkIdSpace.normal_id`` is redundant here
+            # because ``capacity`` is the maximum degree by
+            # construction.
+            normal_u = iu + 1
+            normal_v = iv + 1
+            node_u = nodes[u]
+            node_v = nodes[v]
+            # Hand-rolled Link construction (the builder's hot
+            # allocation), mirroring ``Link.__init__`` field for field.
+            link = link_new(Link)
+            link.node_u = node_u
+            link.node_v = node_v
+            link._u_id = u
+            link._v_id = v
+            link._normal_u = normal_u
+            link._copy_u = flag | normal_u
+            link._normal_v = normal_v
+            link._copy_v = flag | normal_v
+            link.active = True
+            link.key = key = (u, v) if repr_u <= repr_v else (v, u)
+            link._arrival_u = 0.0
+            link._arrival_v = 0.0
+            link.fc = None
+            # ``add_link`` without the parallel-edge check (nx.Graph is
+            # simple by construction) ...
+            node_u.links[v] = link
+            node_v.links[u] = link
+            links[key] = link
+            # ... and the port-table entries ``build_ports`` would
+            # derive from the same data in a second pass.
+            ss_u = node_u.ss
+            ss_v = node_v.ss
+            port_u = (link, v, normal_v, ss_v._deliver_cb)
+            port_v = (link, u, normal_u, ss_u._deliver_cb)
+            ss_u._port_by_id[normal_u] = port_u
+            ss_u._port_by_id[flag | normal_u] = port_u
+            ss_v._port_by_id[normal_v] = port_v
+            ss_v._port_by_id[flag | normal_v] = port_v
 
     # ------------------------------------------------------------------
     # Shape
@@ -184,17 +276,38 @@ class Network:
                     out.append((link, state))
         return out
 
-    def diameter(self) -> int:
+    #: Above this node count ``diameter()`` switches from the exact
+    #: all-pairs BFS to the two-sweep pseudo-diameter (a lower bound,
+    #: exact on every generator in :mod:`repro.network.topologies`) —
+    #: the exact computation is O(n·m), a minutes-long wall at fabric
+    #: scale.  Pass ``exact=True`` to force the full computation.
+    EXACT_DIAMETER_MAX_NODES = 2048
+
+    def diameter(self, *, exact: bool | None = None) -> int:
         """Hop diameter of the (current, active) topology.
 
         Memoised on the topology version: repeated calls with unchanged
         link state are one tuple compare, no graph rebuild and no BFS.
+        ``exact=None`` (default) computes exactly up to
+        :attr:`EXACT_DIAMETER_MAX_NODES` nodes and falls back to the
+        two-sweep BFS pseudo-diameter beyond that (see
+        :func:`repro.network.topologies.pseudo_diameter` for the
+        accuracy contract); ``exact=True`` / ``exact=False`` force one
+        side.  The memo is shared — a forced call refreshes it.
         """
         cached = self._diameter_cache
         version = self._topology_version
-        if cached is not None and cached[0] == version:
+        if cached is not None and cached[0] == version and exact is None:
             return cached[1]
-        diameter = nx.diameter(self.active_graph())
+        g = self.active_graph()
+        if exact is None:
+            exact = g.number_of_nodes() <= self.EXACT_DIAMETER_MAX_NODES
+        if exact:
+            diameter = nx.diameter(g)
+        else:
+            from .topologies import pseudo_diameter
+
+            diameter = pseudo_diameter(g)
         self._diameter_cache = (version, diameter)
         return diameter
 

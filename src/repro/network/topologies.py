@@ -233,11 +233,195 @@ def random_geometric_connected(
 
 
 @_memoised
+def clos(leaves: int, spines: int, hosts_per_leaf: int = 0) -> nx.Graph:
+    """Two-tier folded Clos (leaf–spine) fabric.
+
+    Spines are nodes ``0..spines-1``, leaves ``spines..spines+leaves-1``;
+    every leaf connects to every spine (the non-blocking middle stage),
+    and ``hosts_per_leaf`` single-link hosts hang off each leaf, numbered
+    after the switches.  With hosts the graph models the full datacenter
+    pod; without them it is the pure switching fabric.
+    """
+    if leaves < 1 or spines < 1:
+        raise ValueError("a Clos fabric needs at least one leaf and one spine")
+    if hosts_per_leaf < 0:
+        raise ValueError("hosts_per_leaf must be non-negative")
+    g = nx.Graph()
+    g.add_nodes_from(range(spines + leaves))
+    next_id = spines + leaves
+    for leaf in range(spines, spines + leaves):
+        for spine in range(spines):
+            g.add_edge(leaf, spine)
+        for _ in range(hosts_per_leaf):
+            g.add_edge(leaf, next_id)
+            next_id += 1
+    return g
+
+
+@_memoised
+def fat_tree(k: int) -> nx.Graph:
+    """Three-tier k-ary fat tree (k even): the canonical datacenter fabric.
+
+    ``(k/2)²`` core switches, ``k`` pods of ``k/2`` aggregation plus
+    ``k/2`` edge switches, and ``k/2`` hosts per edge switch —
+    ``5k²/4 + k³/4`` nodes total (``k=32`` ≈ 10⁴ nodes).  Aggregation
+    switch ``j`` of every pod connects to cores ``j·k/2 .. j·k/2+k/2-1``,
+    so any host pair is at most 6 hops apart.  Node numbering: cores
+    first, then per pod aggregation, edge, hosts.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat tree arity k must be even and >= 2")
+    half = k // 2
+    g = nx.Graph()
+    next_id = half * half  # cores are 0 .. (k/2)² - 1
+    g.add_nodes_from(range(next_id))
+    for _pod in range(k):
+        aggs = range(next_id, next_id + half)
+        next_id += half
+        edges = range(next_id, next_id + half)
+        next_id += half
+        for j, agg in enumerate(aggs):
+            for core in range(j * half, (j + 1) * half):
+                g.add_edge(agg, core)
+            for edge in edges:
+                g.add_edge(agg, edge)
+        for edge in edges:
+            for _ in range(half):
+                g.add_edge(edge, next_id)
+                next_id += 1
+    return g
+
+
+@_memoised
+def torus(*dims: int) -> nx.Graph:
+    """k-ary n-cube: a grid with wraparound links in every dimension.
+
+    ``torus(4, 4)`` is a 4×4 2-D torus; ``torus(8, 8, 8)`` a 512-node
+    3-D torus.  Every dimension must be at least 3 (a 2-wide dimension
+    would collapse its wrap link onto the grid link).  Nodes are
+    numbered row-major.
+    """
+    if not dims:
+        raise ValueError("a torus needs at least one dimension")
+    if any(d < 3 for d in dims):
+        raise ValueError("every torus dimension must be at least 3")
+    g = nx.Graph()
+    n = 1
+    strides = []
+    for d in reversed(dims):
+        strides.append(n)
+        n *= d
+    strides.reverse()  # strides[i] multiplies coordinate i (row-major)
+    g.add_nodes_from(range(n))
+    for node in range(n):
+        for dim, stride in zip(dims, strides):
+            coord = (node // stride) % dim
+            neighbor = node + stride if coord + 1 < dim else node - (dim - 1) * stride
+            g.add_edge(node, neighbor)
+    return g
+
+
+@_memoised
+def dragonfly(groups: int, routers_per_group: int, hosts_per_router: int = 0) -> nx.Graph:
+    """Dragonfly: fully meshed router groups, one global link per group pair.
+
+    Each of the ``groups`` groups is a complete graph on
+    ``routers_per_group`` routers; for every group pair exactly one
+    global link connects them, its endpoints spread deterministically
+    across each group's routers round-robin.  ``hosts_per_router``
+    single-link hosts hang off every router, numbered after all
+    routers.  The group-level topology is complete, giving the
+    low-diameter, low-degree shape datacenter dragonflies target.
+    """
+    if groups < 1 or routers_per_group < 1:
+        raise ValueError("dragonfly needs positive groups and routers per group")
+    if hosts_per_router < 0:
+        raise ValueError("hosts_per_router must be non-negative")
+    a = routers_per_group
+    g = nx.Graph()
+    n_routers = groups * a
+    g.add_nodes_from(range(n_routers))
+    for group in range(groups):
+        base = group * a
+        for i in range(a):
+            for j in range(i + 1, a):
+                g.add_edge(base + i, base + j)
+    for gi in range(groups):
+        for gj in range(gi + 1, groups):
+            # Round-robin endpoint spread: group gi's link toward gj
+            # leaves router (gj - 1) mod a, and vice versa.
+            g.add_edge(gi * a + (gj - 1) % a, gj * a + gi % a)
+    next_id = n_routers
+    for router in range(n_routers):
+        for _ in range(hosts_per_router):
+            g.add_edge(router, next_id)
+            next_id += 1
+    return g
+
+
+@_memoised
 def barbell(clique: int, path: int) -> nx.Graph:
     """Two cliques of size ``clique`` joined by a path of ``path`` nodes."""
     if clique < 3:
         raise ValueError("clique size must be at least 3")
     return nx.barbell_graph(clique, path)
+
+
+def _bfs_eccentricity(graph: nx.Graph, source) -> tuple[int, list]:
+    """One BFS sweep: ``(max depth, nodes at that depth)``.
+
+    Raises the same error :func:`networkx.diameter` raises when the
+    graph is disconnected, so callers can swap one for the other.
+    """
+    adj = graph.adj
+    visited = {source}
+    frontier = [source]
+    depth = 0
+    last = frontier
+    while frontier:
+        last = frontier
+        next_frontier = []
+        for node in frontier:
+            for neighbor in adj[node]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    next_frontier.append(neighbor)
+        frontier = next_frontier
+        if frontier:
+            depth += 1
+    if len(visited) != graph.number_of_nodes():
+        raise nx.NetworkXError(
+            "Found infinite path length because the graph is not connected"
+        )
+    return depth, last
+
+
+def pseudo_diameter(graph: nx.Graph) -> int:
+    """Two-sweep BFS pseudo-diameter: a fast lower bound on the diameter.
+
+    BFS from a deterministic start node finds a farthest node; a second
+    BFS from there returns its eccentricity.  Two O(n + m) sweeps
+    instead of the O(n·m) all-pairs BFS behind :func:`networkx.diameter`
+    — the difference between milliseconds and minutes at 10⁴–10⁵ nodes.
+    The result is exact on trees and within a small additive error on
+    the mesh-like fabrics in this module (exact on all generators here,
+    verified by the test suite); in general it can under-report.  Raises
+    :class:`networkx.NetworkXError` on disconnected graphs, like
+    :func:`networkx.diameter`.
+    """
+    if graph.number_of_nodes() == 0:
+        raise ValueError("pseudo_diameter needs a non-empty graph")
+    # Start from a minimum-degree node (ties broken by repr): peripheral
+    # nodes — a fat-tree host, a Clos leaf port — realise the diameter,
+    # while a well-connected core would anchor both sweeps in the middle
+    # of the graph and under-report (e.g. 4 instead of 6 on fat_tree(8)).
+    degree = graph.degree
+    start = min(graph.nodes, key=lambda node: (degree[node], repr(node)))
+    first_depth, farthest = _bfs_eccentricity(graph, start)
+    # Deterministic pick among the deepest BFS layer.
+    second = min(farthest, key=repr)
+    depth, _ = _bfs_eccentricity(graph, second)
+    return max(first_depth, depth)
 
 
 @_memoised

@@ -78,6 +78,7 @@ def render_congestion_heatmap(
     *,
     width: int = 56,
     title: str | None = None,
+    limit: int | None = 40,
 ) -> str:
     """Render QUEUE records as a per-link-direction text heatmap.
 
@@ -87,6 +88,13 @@ def render_congestion_heatmap(
     :data:`_HEAT_RAMP` intensity scale (space = no sample / empty
     queue, ``@`` = the global peak).  Non-QUEUE records are ignored,
     so a full trace can be passed as-is.
+
+    ``limit`` keeps the table readable on fabric-scale runs: only the
+    ``limit`` hottest directions (by peak occupancy, ties broken by the
+    usual repr order) are shown, with a ``… k links omitted`` footer
+    for the rest.  ``None`` shows every direction.  The time axis and
+    the intensity scale still cover *all* samples, so the shown rows
+    render identically with or without truncation.
     """
     samples: dict[tuple[Any, Any], list[tuple[float, int]]] = {}
     for rec in records:
@@ -106,8 +114,23 @@ def render_congestion_heatmap(
     peak = max(peak, 1)
     top = len(_HEAT_RAMP) - 1
 
+    ordered = sorted(samples.items(), key=lambda kv: repr(kv[0]))
+    omitted = 0
+    if limit is not None and len(ordered) > limit:
+        # Keep the ``limit`` hottest directions; a stable sort on
+        # descending peak preserves the repr order within equal peaks,
+        # and the survivors are re-sorted back into repr order.
+        by_heat = sorted(
+            ordered,
+            key=lambda kv: max(o for _, o in kv[1]),
+            reverse=True,
+        )
+        keep = {id(series) for _, series in by_heat[:limit]}
+        omitted = len(ordered) - limit
+        ordered = [kv for kv in ordered if id(kv[1]) in keep]
+
     rows = []
-    for (link, sender), series in sorted(samples.items(), key=lambda kv: repr(kv[0])):
+    for (link, sender), series in ordered:
         cells = [0] * width
         for t, occ in series:
             cell = min(int((t - t0) / extent * width), width - 1)
@@ -119,7 +142,10 @@ def render_congestion_heatmap(
         rows.append([str(link), str(sender), max(o for _, o in series), heat])
 
     axis = f"t=[{t0:g}..{t1:g}] peak={peak}"
-    return format_table(["link", "from", "peak", axis], rows, title=title)
+    table = format_table(["link", "from", "peak", axis], rows, title=title)
+    if omitted:
+        table += f"\n… {omitted} links omitted (showing the {limit} hottest)"
+    return table
 
 
 def span_summary_table(spans: Iterable[Span], *, title: str | None = None) -> str:

@@ -155,3 +155,77 @@ def test_cli_unknown_topology_errors():
 def test_cli_election_baselines_skip_non_rings(capsys):
     assert main(["election", "--topology", "grid:3,3", "--baselines"]) == 0
     assert "(needs a ring)" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Bulk construction and datacenter-fabric specs
+# ----------------------------------------------------------------------
+def test_from_edge_arrays_matches_from_edges():
+    from repro.network import from_edge_arrays
+
+    edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+    bulk = from_edge_arrays(4, edges)
+    ref = from_edges(edges)
+    assert bulk.n == ref.n and bulk.m == ref.m
+    assert list(bulk.links) == list(ref.links)
+    assert [r.kind for r in bulk.trace] == [r.kind for r in ref.trace]
+
+
+def test_from_edge_arrays_isolated_and_invalid():
+    from repro.network import from_edge_arrays
+
+    net = from_edge_arrays(5, [(0, 1)])
+    assert net.n == 5 and net.m == 1
+    with pytest.raises(ValueError):
+        from_edge_arrays(-1, [])
+
+
+@pytest.mark.parametrize(
+    "spec,n,m",
+    [
+        ("clos:8,4", 12, 32),
+        ("clos:8,4,2", 28, 48),
+        ("fat_tree:4", 36, 48),
+        ("torus:4,4,4", 64, 192),
+        ("dragonfly:9,4", 36, 90),
+    ],
+)
+def test_from_spec_fabrics(spec, n, m):
+    net = from_spec(spec)
+    assert net.n == n and net.m == m
+
+
+def test_graph_from_spec_returns_bare_graph():
+    from repro.network import graph_from_spec
+
+    g = graph_from_spec("fat_tree:4")
+    assert g.number_of_nodes() == 36 and g.number_of_edges() == 48
+    # Private copy: mutating it must not affect later builds.
+    g.remove_node(0)
+    assert from_spec("fat_tree:4").n == 36
+
+
+# ----------------------------------------------------------------------
+# topology info
+# ----------------------------------------------------------------------
+def test_cli_topology_info(capsys):
+    assert main(["topology", "info", "fat_tree:8"]) == 0
+    out = capsys.readouterr().out
+    assert "208" in out  # nodes
+    assert "384" in out  # links
+    assert "diameter" in out and "6" in out
+    assert "build bytes/node" in out
+
+
+def test_cli_topology_info_exact_diameter(capsys):
+    assert main(
+        ["topology", "info", "torus:4,4,4", "--exact-diameter", "--no-build-memory"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "64" in out
+    assert "build bytes/node" not in out
+
+
+def test_cli_topology_info_bad_spec(capsys):
+    assert main(["topology", "info", "donut:12"]) == 1
+    assert "unknown topology" in capsys.readouterr().err

@@ -436,3 +436,45 @@ def test_campaign_merged_perf_occupancy_identical_across_jobs(tmp_path):
     assert sm["counters"]["link_stalls"] == pm["counters"]["link_stalls"]
     assert sm["counters"]["link_stalls"] > 0
     assert serial.results[0].value == pooled.results[0].value
+
+
+def _queue_records(n_links: int, samples: int = 3):
+    from repro.sim.trace import TraceRecord
+
+    records = []
+    for i in range(n_links):
+        for s in range(samples):
+            records.append(
+                TraceRecord(
+                    time=float(s),
+                    kind=TraceKind.QUEUE,
+                    node=i,
+                    # Link i peaks at occupancy i+1, so hotness follows
+                    # the link index and truncation is predictable.
+                    detail={"link": (i, i + 1), "occupancy": (i + 1) if s == 1 else 0},
+                )
+            )
+    return records
+
+
+def test_heatmap_truncates_to_hottest_links():
+    art = render_congestion_heatmap(_queue_records(12), width=16, limit=5)
+    lines = art.splitlines()
+    assert lines[-1] == "… 7 links omitted (showing the 5 hottest)"
+    # The hottest five directions survive, the coolest are dropped.
+    assert "(11, 12)" in art and "(7, 8)" in art
+    assert "(0, 1)" not in art and "(6, 7)" not in art
+    # The intensity scale still spans all samples: the global peak
+    # stays 12 even though only the top rows render.
+    assert "peak=12" in art
+
+
+def test_heatmap_limit_none_shows_everything():
+    art = render_congestion_heatmap(_queue_records(12), width=16, limit=None)
+    assert "omitted" not in art
+    assert all(f"({i}, {i + 1})" in art for i in range(12))
+
+
+def test_heatmap_under_limit_has_no_footer():
+    art = render_congestion_heatmap(_queue_records(4), width=16, limit=40)
+    assert "omitted" not in art

@@ -379,3 +379,37 @@ def test_sampling_profiler_guards():
     finally:
         profiler.stop()
     profiler.stop()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Build-memory gauge
+# ----------------------------------------------------------------------
+def test_measure_build_bytes_per_node_sets_gauge():
+    perf = PerfCounters()
+    net = perf.measure_build_bytes_per_node(
+        lambda: from_spec("grid:4,4", trace=False)
+    )
+    assert net.n == 16
+    assert perf.build_bytes_per_node > 0
+    # The gauge merges by max and survives serialisation.
+    clone = PerfCounters.from_dict(perf.to_dict())
+    assert clone.build_bytes_per_node == perf.build_bytes_per_node
+    low = PerfCounters()
+    low.merge(perf)
+    assert low.build_bytes_per_node == perf.build_bytes_per_node
+    assert "build_bytes_per_node" in perf.render()
+
+
+def test_measure_build_bytes_per_node_explicit_count_and_guards():
+    perf = PerfCounters()
+    blob = perf.measure_build_bytes_per_node(lambda: bytearray(10_000), nodes=10)
+    assert len(blob) == 10_000
+    assert perf.build_bytes_per_node >= 1_000
+    with pytest.raises(ValueError):
+        perf.measure_build_bytes_per_node(lambda: object())
+    perf.start_alloc_tracking()
+    try:
+        with pytest.raises(RuntimeError):
+            perf.measure_build_bytes_per_node(lambda: None, nodes=1)
+    finally:
+        perf.stop_alloc_tracking()

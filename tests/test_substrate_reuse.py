@@ -291,3 +291,31 @@ def test_topology_cache_invalid_params_still_raise() -> None:
         topologies.ring(2)
     with pytest.raises(ValueError):
         topologies.grid(0, 3)
+
+
+def test_clos_reset_run_is_byte_identical() -> None:
+    # Datacenter-fabric reset identity: the bulk-built Clos substrate
+    # must reproduce a fresh build byte-for-byte through reset(), same
+    # contract as the golden scenarios above.
+    from test_hotpath_equivalence import RecordingFlood, _document
+
+    def build():
+        return from_spec("clos:6,3,2", delays=FixedDelays(0.25, 1.0), trace=True)
+
+    def drive(net):
+        from repro.core import run_standalone_broadcast
+
+        deliveries: list = []
+        run_standalone_broadcast(
+            net,
+            lambda api: RecordingFlood(api, root=0, body="clos", sink=deliveries),
+            0,
+        )
+        return _dumps(_document(net, deliveries))
+
+    fresh = drive(build())
+    net = build()
+    assert drive(net) == fresh
+    for _ in range(2):
+        net.reset(delays=FixedDelays(0.25, 1.0))
+        assert drive(net) == fresh
